@@ -1,0 +1,46 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or quantitative claim of the
+paper. Tables are printed and also written under ``benchmarks/results/``
+so the regenerated series survive pytest's output capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.liberty import LibraryCondition, make_library
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """record_table(name, text): print and persist a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="session")
+def lib_factory():
+    def factory(process: str, vdd: float, temp_c: float):
+        return make_library(
+            LibraryCondition(process=process, vdd=vdd, temp_c=temp_c)
+        )
+
+    return factory
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

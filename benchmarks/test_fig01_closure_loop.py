@@ -1,0 +1,45 @@
+"""Fig 1 — the iterative timing-closure loop.
+
+Paper: five STA / breakdown / manual-fix iterations, simplest fixes first
+(Vt-swap, sizing, buffering, NDR, useful skew); top-level timing is
+expected to improve after each iteration.
+
+Reproduction: run the executable closure loop on a constrained synthetic
+block and report the per-iteration WNS/TNS/violation trajectory and the
+fix mix.
+"""
+
+from conftest import once
+
+from repro.core.closure import ClosureConfig, ClosureEngine
+from repro.netlist.generators import random_logic
+from repro.sta import Constraints
+
+
+def test_fig01_closure_trajectory(benchmark, lib, record_table):
+    def run():
+        design = random_logic(n_gates=300, n_levels=10, seed=3)
+        constraints = Constraints.single_clock(520.0)
+        constraints.input_delays = {f"in{i}": 60.0 for i in range(32)}
+        engine = ClosureEngine(design, lib, constraints)
+        return engine.run(ClosureConfig(max_iterations=8, budget_per_fix=24))
+
+    result = once(benchmark, run)
+
+    fix_mix = {}
+    for rec in result.iterations:
+        for kind, count in rec.edits.items():
+            fix_mix[kind] = fix_mix.get(kind, 0) + count
+    lines = [result.render(), "", "fix mix (total edits by engine):"]
+    for kind, count in sorted(fix_mix.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {kind:<16} {count}")
+    record_table("fig01_closure_loop", "\n".join(lines))
+
+    # Paper shape: closes within the schedule, improving along the way.
+    assert result.converged
+    wns = result.trajectory("wns_setup")
+    assert wns[-1] > wns[0]
+    assert len(result.iterations) <= 8
+    # The recommended ordering is exercised: cheap fixes dominate.
+    assert fix_mix.get("vt_swap", 0) > 0
+    assert fix_mix.get("sizing", 0) > 0

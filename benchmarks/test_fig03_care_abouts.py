@@ -1,0 +1,37 @@
+"""Fig 3 — evolution of timing-closure care-abouts across nodes.
+
+Paper: a node-by-node map of when each concern (noise, MCMM, AOCV, PBA,
+multi-patterning, LVF, MIS, ...) entered the methodology.
+
+Reproduction: the timeline is encoded as data; this bench renders it and
+checks the paper's qualitative claims (concerns only accumulate; the
+20nm inflection brings multi-patterning and MinIA; LVF and MIS are the
+newest arrivals).
+"""
+
+from conftest import once
+
+from repro.core.history import (
+    CARE_ABOUTS,
+    care_abouts_at,
+    new_at,
+    render_timeline,
+)
+
+
+def test_fig03_care_about_timeline(benchmark, record_table):
+    text = once(benchmark, render_timeline)
+    record_table("fig03_care_abouts", text)
+
+    # Concerns accumulate monotonically across the node sequence.
+    nodes = [90, 65, 45, 28, 20, 16, 10]
+    counts = [len(care_abouts_at(n)) for n in nodes]
+    assert counts == sorted(counts)
+
+    # The 20nm inflection of Section 2.
+    assert {"multi_patterning", "min_implant", "mol_beol_resistance"} <= \
+        set(new_at(20))
+    # The newest goal posts.
+    assert {"lvf", "mis"} <= set(new_at(10))
+    # Everything in the table is active at the newest node.
+    assert set(care_abouts_at(10)) == set(CARE_ABOUTS)

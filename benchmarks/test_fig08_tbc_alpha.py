@@ -1,0 +1,95 @@
+"""Fig 8 — the tightened-BEOL-corner pessimism metric.
+
+Paper ([Chan-Dobre-Kahng ICCD'14]): alpha_j = 3 sigma_j / delta_d_j(CBC)
+measures how pessimistic a conventional homogeneous BEOL corner is for a
+path; paths with small delta-delay at both Cw and RCw (thresholds A_cw,
+A_rcw) can be signed off at tightened corners, substantially reducing
+violations and fix effort. Gate-dominated paths are Cw-dominated,
+wire-dominated paths RCw-dominated, so both corners are needed.
+
+Reproduction: alpha scatter over a mixed path population (short-wire
+random logic plus deliberately long-wire chains), classification, and
+the CBC-vs-TBC violation comparison.
+"""
+
+from conftest import once
+
+from repro.core.tbc import alpha_analysis, classify_tbc_safe, tbc_signoff
+from repro.netlist.generators import random_logic
+from repro.sta import Constraints
+
+
+def long_wire_design(seed=4):
+    """Random logic with the columns stretched so nets are wire-heavy."""
+    d = random_logic(n_gates=160, n_levels=8, seed=seed)
+    for inst in d.instances.values():
+        if inst.location is not None:
+            inst.location = (inst.location[0] * 25.0, inst.location[1])
+    return d
+
+
+def test_fig08_alpha_scatter(benchmark, lib, record_table):
+    def run():
+        short = alpha_analysis(
+            random_logic(n_gates=160, n_levels=8, seed=3),
+            lib, Constraints.single_clock(600.0), n_endpoints=15,
+        )
+        long = alpha_analysis(
+            long_wire_design(), lib,
+            Constraints.single_clock(900.0), n_endpoints=15,
+        )
+        return short, long
+
+    short, long = once(benchmark, run)
+
+    lines = [
+        f"{'population':>10} {'endpoint':<16} {'d_typ':>8} "
+        f"{'rel dCw':>8} {'rel dRCw':>9} {'a_cw':>7} {'a_rcw':>7} {'dom':>4}"
+    ]
+    for label, stats in (("short", short), ("long", long)):
+        for s in stats[:8]:
+            lines.append(
+                f"{label:>10} {str(s.endpoint):<16} {s.arrival_typ:8.1f} "
+                f"{s.delta_cw / s.arrival_typ:8.3f} "
+                f"{s.delta_rcw / s.arrival_typ:9.3f} "
+                f"{min(s.alpha('cw'), 99.0):7.2f} "
+                f"{min(s.alpha('rcw'), 99.0):7.2f} {s.dominant_corner:>4}"
+            )
+    safe, unsafe = classify_tbc_safe(short + long, a_cw=0.05, a_rcw=0.05)
+    lines.append("")
+    lines.append(f"TBC-safe paths at A_cw=A_rcw=5%: {len(safe)} of "
+                 f"{len(safe) + len(unsafe)}")
+    record_table("fig08_tbc_alpha", "\n".join(lines))
+
+    # Paper shape: gate-dominated (short-wire) population Cw-dominated,
+    # wire-heavy population RCw-dominated.
+    short_dom = [s.dominant_corner for s in short]
+    long_dom = [s.dominant_corner for s in long]
+    assert short_dom.count("cw") > short_dom.count("rcw")
+    assert long_dom.count("rcw") > 0
+    # Homogeneous corners are pessimistic: average alpha < 1.
+    alphas = [s.alpha(s.dominant_corner) for s in short + long]
+    assert sum(alphas) / len(alphas) < 1.0
+
+
+def test_fig08_tbc_signoff_reduces_violations(benchmark, lib, record_table):
+    def run():
+        return tbc_signoff(
+            random_logic(n_gates=200, n_levels=8, seed=3),
+            lib, Constraints.single_clock(505.0),
+            tighten_factor=0.4, a_cw=0.05, a_rcw=0.05,
+        )
+
+    result = once(benchmark, run)
+    record_table(
+        "fig08_tbc_signoff",
+        "\n".join([
+            f"violations at conventional Cw corner: {result.violations_cbc}",
+            f"violations with TBC methodology:      {result.violations_tbc}",
+            f"TBC-safe paths: {result.tbc_safe_paths} / {result.total_paths}",
+            f"violations removed: {result.violations_removed}",
+        ]),
+    )
+    # Paper: TBC substantially reduces timing violations / fix effort.
+    assert result.violations_tbc <= result.violations_cbc
+    assert result.tbc_safe_paths > 0

@@ -1,0 +1,91 @@
+"""Section 2.3 — gate-wire balance across supply voltage.
+
+Paper: at foundry 20nm, scaling VDD from 0.7 to 1.2 V cuts gate delay by
+~50% while a 100um M3 wire's delay drops only ~2%; with temperature, wire
+R always rises while gate delay may invert. Hence low-voltage critical
+paths are gate-dominated (Cw BEOL corner dominant) and high-voltage paths
+wire-dominated (RCw dominant) — and corner pruning is hard.
+
+Reproduction: inverter gate delay (transistor level) and a 100um M3 wire
+Elmore delay across the voltage sweep, plus the corner-dominance flip.
+"""
+
+from conftest import once
+
+from repro.beol.corners import conventional_corners, dominant_corner_for_path
+from repro.beol.stack import default_stack
+from repro.parasitics.rctree import RCTree
+from repro.spice.testbench import inverter_delay
+
+
+def wire_delay_100um(corner_name: str = "typ", temp_c: float = 25.0) -> float:
+    """Elmore delay of a 100um M3 route (10-segment ladder), ps."""
+    stack = default_stack()
+    layer = stack.layer("M3")
+    scales = conventional_corners(stack)[corner_name].layer_scales("M3")
+    r = layer.r_at(temp_c) * scales.r
+    c = (layer.c_ground_per_um * scales.c_ground
+         + 0.5 * layer.c_coupling_per_um * scales.c_coupling)
+    tree = RCTree()
+    prev = tree.root
+    for i in range(10):
+        prev = tree.add_node(f"n{i}", prev, r * 10.0, c * 10.0)
+    tree.add_cap(prev, 2.0)  # receiver pin
+    return tree.elmore(prev)
+
+
+def test_sec23_gate_wire_balance(benchmark, record_table):
+    voltages = (0.7, 0.8, 0.9, 1.0, 1.1, 1.2)
+
+    def run():
+        rows = []
+        wire = wire_delay_100um()
+        for v in voltages:
+            gate = inverter_delay(vdd=v, load_ff=4.0).delay
+            rows.append((v, gate, wire))
+        return rows
+
+    rows = once(benchmark, run)
+    g0, w0 = rows[0][1], rows[0][2]
+    lines = [
+        f"{'vdd':>5} {'gate (ps)':>10} {'gate %':>7} {'wire 100um (ps)':>16} "
+        f"{'wire %':>7} {'10-stage net frac':>18}"
+    ]
+    for v, gate, wire in rows:
+        # A representative 10-stage path with one long route: the net-delay
+        # fraction the paper tracks (2-5% at low V, 30-50% at high V).
+        net_frac = wire / (10.0 * gate + wire)
+        lines.append(
+            f"{v:5.2f} {gate:10.2f} {100 * gate / g0:7.1f} "
+            f"{wire:16.2f} {100 * wire / w0:7.1f} {100 * net_frac:17.1f}%"
+        )
+    gate_lo, wire = rows[0][1], rows[0][2]
+    gate_hi = rows[-1][1]
+    frac_short_lowv = (10 * gate_lo) / (10 * gate_lo + 0.1 * wire)
+    frac_long_highv = gate_hi / (gate_hi + wire)
+    lines += [
+        "",
+        "temperature: wire R at 125C / 25C = "
+        f"{wire_delay_100um(temp_c=125.0) / wire_delay_100um():.3f}",
+        f"gate-dominated path (low V, short wires): gate fraction "
+        f"{frac_short_lowv:.2f} -> "
+        f"{dominant_corner_for_path(frac_short_lowv)} corner dominant",
+        f"wire-dominated path (high V, 100um route): gate fraction "
+        f"{frac_long_highv:.2f} -> "
+        f"{dominant_corner_for_path(frac_long_highv)} corner dominant",
+    ]
+    record_table("sec23_gate_wire_balance", "\n".join(lines))
+
+    # Paper shape: gate delay drops ~2x across the sweep, wire unchanged.
+    gate_ratio = rows[-1][1] / rows[0][1]
+    assert gate_ratio < 0.6
+    wire_ratio = rows[-1][2] / rows[0][2]
+    assert abs(wire_ratio - 1.0) < 0.02
+    # Wire delay always grows with temperature.
+    assert wire_delay_100um(temp_c=125.0) > wire_delay_100um(temp_c=25.0)
+    # The net-delay fraction grows with voltage (corner pruning is hard).
+    net_fracs = [w / (10 * g + w) for _, g, w in rows]
+    assert net_fracs[-1] > 1.5 * net_fracs[0]
+    # And the dominance rule flips between the two path archetypes.
+    assert dominant_corner_for_path(frac_short_lowv) == "cw"
+    assert dominant_corner_for_path(frac_long_highv) == "rcw"

@@ -1,0 +1,43 @@
+"""Quickstart: generate a library and a netlist, run STA, read a report.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+
+
+def main() -> None:
+    # 1. A standard-cell library at a chosen PVT condition. The analytic
+    #    factory derives NLDM tables from the same alpha-power device
+    #    physics as the transistor-level simulator.
+    library = make_library(LibraryCondition(vdd=0.8, temp_c=25.0,
+                                            process="tt"))
+    print(f"library: {library}")
+
+    # 2. A synthetic design: launch flops -> random logic -> capture flops.
+    design = random_logic(n_inputs=16, n_outputs=16, n_gates=200,
+                          n_levels=8, seed=42)
+    print(f"design:  {design}")
+
+    # 3. Constraints: one 500 ps clock, inputs arriving 60 ps after it.
+    constraints = Constraints.single_clock(500.0)
+    constraints.input_delays = {f"in{i}": 60.0 for i in range(16)}
+
+    # 4. Run STA and read the results.
+    sta = STA(design, library, constraints)
+    report = sta.run()
+    print()
+    print(report.summary())
+    print()
+    print(report.slack_histogram("setup", bins=6))
+    print()
+
+    worst = report.worst("setup")
+    print("worst setup path:")
+    print(sta.worst_path(worst).render())
+
+
+if __name__ == "__main__":
+    main()

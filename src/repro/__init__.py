@@ -1,0 +1,53 @@
+"""repro — a timing-closure playground.
+
+A from-scratch Python reproduction of the systems surveyed in Kahng,
+"New Game, New Goal Posts: A Recent History of Timing Closure" (DAC 2015):
+
+- an analytical circuit simulator (:mod:`repro.spice`) used as the golden
+  reference for delay, slew, multi-input switching, temperature inversion
+  and Monte Carlo variation studies;
+- library modeling (:mod:`repro.liberty`) with NLDM tables and the
+  AOCV / POCV / LVF variation-model ladder;
+- BEOL stack and multi-patterning variation models (:mod:`repro.beol`)
+  with corner enumeration and the SADP sigma formulas of the paper's Fig 5;
+- parasitic RC synthesis and wire delay (:mod:`repro.parasitics`);
+- a full static timing analyzer (:mod:`repro.sta`) with graph-based and
+  path-based analysis, CPPR, derating and MCMM scenarios;
+- interdependent flip-flop timing models (:mod:`repro.flops`);
+- multi-input switching analysis (:mod:`repro.mis`);
+- placement and minimum-implant-area interference (:mod:`repro.place`);
+- clock tree synthesis and useful skew (:mod:`repro.cts`);
+- BTI aging and adaptive voltage scaling (:mod:`repro.aging`);
+- and, on top of it all, the executable timing-closure methodology
+  (:mod:`repro.core`): the iterative closure loop, signoff-criteria engine,
+  and tightened-BEOL-corner methodology.
+"""
+
+from repro.errors import (
+    ClosureError,
+    ConstraintError,
+    CornerError,
+    LibraryError,
+    NetlistError,
+    PlacementError,
+    ReproError,
+    SignoffError,
+    SimulationError,
+    TimingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetlistError",
+    "LibraryError",
+    "TimingError",
+    "ConstraintError",
+    "CornerError",
+    "PlacementError",
+    "ClosureError",
+    "SignoffError",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""BTI aging, adaptive voltage scaling and aging-aware signoff.
+
+- :mod:`repro.aging.bti` — a reaction-diffusion-style BTI threshold-shift
+  model (power-law in time, exponential in voltage, Arrhenius in
+  temperature);
+- :mod:`repro.aging.avs` — the AVS controller: the minimum supply at
+  which a (possibly aged) design still meets timing;
+- :mod:`repro.aging.signoff` — the Section 3.3 chicken-egg loop
+  ([Chan-Chan-Kahng TCAS'14]): the aging/AVS fixed point over a product
+  lifetime, and the aging-signoff-corner sweep behind Fig 9.
+"""
+
+from repro.aging.bti import BtiModel
+from repro.aging.avs import AvsController
+from repro.aging.signoff import (
+    AgingCornerOutcome,
+    LifetimeResult,
+    simulate_lifetime,
+    sweep_aging_corners,
+)
+from repro.aging.monitors import (
+    RingOscillator,
+    design_dependent_ro,
+    generic_ro,
+    monitor_guided_voltage,
+)
+from repro.aging.overdrive import (
+    OverdriveOutcome,
+    best_outcome,
+    optimize_overdrive_signoff,
+)
+
+__all__ = [
+    "BtiModel",
+    "AvsController",
+    "AgingCornerOutcome",
+    "LifetimeResult",
+    "simulate_lifetime",
+    "sweep_aging_corners",
+    "RingOscillator",
+    "design_dependent_ro",
+    "generic_ro",
+    "monitor_guided_voltage",
+    "OverdriveOutcome",
+    "best_outcome",
+    "optimize_overdrive_signoff",
+]

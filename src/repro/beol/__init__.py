@@ -1,0 +1,30 @@
+"""BEOL stack modeling, multi-patterning variation and corner algebra.
+
+The paper's Section 2.2-2.3 territory: highly resistive sub-20nm metal
+stacks, SADP/SAQP-induced CD variation (Fig 5), and the combinatorial
+"corner super-explosion" of per-layer BEOL corners.
+"""
+
+from repro.beol.stack import BeolStack, MetalLayer, default_stack
+from repro.beol.corners import (
+    BeolCorner,
+    conventional_corners,
+    corner_explosion_count,
+    per_layer_corner_space,
+    tightened_corner,
+)
+from repro.beol.sadp import SadpSigmas, line_cd_sigma, PatterningCase
+
+__all__ = [
+    "BeolStack",
+    "MetalLayer",
+    "default_stack",
+    "BeolCorner",
+    "conventional_corners",
+    "tightened_corner",
+    "corner_explosion_count",
+    "per_layer_corner_space",
+    "SadpSigmas",
+    "line_cd_sigma",
+    "PatterningCase",
+]

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro sta      --design rand --period 500
+    python -m repro closure  --design c5315 --period 430
+    python -m repro library  --process ss --vdd 0.72 --temp 125 -o ss.lib
+    python -m repro etm      --design rand --period 500
+    python -m repro corners  --modes 6 --domains 4
+    python -m repro history
+
+Designs are the synthetic generators (``rand``, ``c5315``, ``c7552``,
+``aes``, ``mpeg2``, ``tiny``); libraries come from the analytic factory
+at the requested PVT condition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.liberty import LibraryCondition, make_library
+from repro.liberty.io import write_library
+from repro.netlist.design import Design
+from repro.netlist.generators import (
+    aes_like,
+    c5315_like,
+    c7552_like,
+    mpeg2_like,
+    random_logic,
+    tiny_design,
+)
+
+_DESIGNS: Dict[str, Callable[..., Design]] = {
+    "tiny": lambda seed, gates: tiny_design(),
+    "rand": lambda seed, gates: random_logic(
+        n_gates=gates, n_levels=max(4, gates // 30), seed=seed
+    ),
+    "c5315": lambda seed, gates: c5315_like(seed=seed, scale=gates / 2307.0),
+    "c7552": lambda seed, gates: c7552_like(seed=seed, scale=gates / 3512.0),
+    "aes": lambda seed, gates: aes_like(
+        seed=seed, n_sboxes=max(2, gates // 60)
+    ),
+    "mpeg2": lambda seed, gates: mpeg2_like(
+        seed=seed, lanes=max(1, gates // 120)
+    ),
+}
+
+
+def _add_library_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--process", default="tt",
+                        help="process corner (tt/ss/ff/ssg/ffg/fsg/sfg)")
+    parser.add_argument("--vdd", type=float, default=0.8, help="supply, V")
+    parser.add_argument("--temp", type=float, default=25.0,
+                        help="temperature, C")
+    parser.add_argument("--aging-mv", type=float, default=0.0,
+                        help="BTI aging shift, mV")
+
+
+def _add_design_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", default="rand",
+                        choices=sorted(_DESIGNS), help="synthetic design")
+    parser.add_argument("--gates", type=int, default=200,
+                        help="approximate gate count")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--period", type=float, default=500.0,
+                        help="clock period, ps")
+    parser.add_argument("--input-delay", type=float, default=60.0,
+                        help="input arrival after clock, ps")
+
+
+def _make_library(args):
+    return make_library(
+        LibraryCondition(
+            process=args.process,
+            vdd=args.vdd,
+            temp_c=args.temp,
+            vt_shift_aging=args.aging_mv / 1000.0,
+        )
+    )
+
+
+def _make_setup(args):
+    from repro.sta import Constraints
+
+    design = _DESIGNS[args.design](args.seed, args.gates)
+    constraints = Constraints.single_clock(args.period)
+    constraints.input_delays = {
+        p: args.input_delay for p in design.input_ports() if p != "clk"
+    }
+    return design, _make_library(args), constraints
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+
+
+def _cmd_sta(args) -> int:
+    from repro.sta import STA
+
+    design, library, constraints = _make_setup(args)
+    sta = STA(design, library, constraints, si_enabled=args.si)
+    report = sta.run()
+    print(report.summary())
+    print()
+    print(report.slack_histogram("setup", bins=6))
+    worst = report.worst("setup")
+    if worst is not None and args.paths > 0:
+        print()
+        for endpoint in report.endpoints("setup")[: args.paths]:
+            print(sta.worst_path(endpoint).render())
+            print()
+    return 0 if report.wns("setup") >= 0 and report.wns("hold") >= 0 else 1
+
+
+def _cmd_closure(args) -> int:
+    from repro.core.closure import ClosureConfig, ClosureEngine
+
+    design, library, constraints = _make_setup(args)
+    engine = ClosureEngine(design, library, constraints)
+    result = engine.run(
+        ClosureConfig(max_iterations=args.iterations,
+                      budget_per_fix=args.budget)
+    )
+    print(result.render())
+    return 0 if result.converged else 1
+
+
+def _cmd_library(args) -> int:
+    library = _make_library(args)
+    text = write_library(library)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(library)} cells to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_etm(args) -> int:
+    from repro.sta import STA
+    from repro.sta.etm import extract_etm, render_etm
+
+    design, library, constraints = _make_setup(args)
+    constraints.input_delays = {}
+    sta = STA(design, library, constraints)
+    sta.report = sta.run()
+    print(render_etm(extract_etm(sta)))
+    return 0
+
+
+def _cmd_corners(args) -> int:
+    from repro.beol.corners import corner_explosion_count
+    from repro.beol.stack import default_stack
+
+    counts = corner_explosion_count(
+        n_modes=args.modes, n_voltage_domains=args.domains,
+        stack=default_stack(),
+    )
+    for key, value in counts.items():
+        print(f"{key:<28} {value:>14,}")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from repro.core.history import render_old_vs_new, render_timeline
+
+    print(render_old_vs_new())
+    print()
+    print(render_timeline())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timing-closure playground (Kahng, DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sta = sub.add_parser("sta", help="run static timing analysis")
+    _add_design_args(p_sta)
+    _add_library_args(p_sta)
+    p_sta.add_argument("--si", action="store_true",
+                       help="enable coupling-noise delta delays")
+    p_sta.add_argument("--paths", type=int, default=1,
+                       help="worst paths to print")
+    p_sta.set_defaults(func=_cmd_sta)
+
+    p_clo = sub.add_parser("closure", help="run the Fig 1 closure loop")
+    _add_design_args(p_clo)
+    _add_library_args(p_clo)
+    p_clo.add_argument("--iterations", type=int, default=5)
+    p_clo.add_argument("--budget", type=int, default=20,
+                       help="edits per fix engine per iteration")
+    p_clo.set_defaults(func=_cmd_closure)
+
+    p_lib = sub.add_parser("library", help="emit a Liberty-lite library")
+    _add_library_args(p_lib)
+    p_lib.add_argument("-o", "--output", help="output file (default stdout)")
+    p_lib.set_defaults(func=_cmd_library)
+
+    p_etm = sub.add_parser("etm", help="extract a block timing model")
+    _add_design_args(p_etm)
+    _add_library_args(p_etm)
+    p_etm.set_defaults(func=_cmd_etm)
+
+    p_cor = sub.add_parser("corners", help="corner-explosion arithmetic")
+    p_cor.add_argument("--modes", type=int, default=6)
+    p_cor.add_argument("--domains", type=int, default=4)
+    p_cor.set_defaults(func=_cmd_corners)
+
+    p_hist = sub.add_parser("history", help="Fig 2/3 knowledge tables")
+    p_hist.set_defaults(func=_cmd_history)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""The iterative timing-closure loop (the paper's Fig 1, executable).
+
+Each iteration: run STA, break down the failures, apply the fix list in
+the MacDonald ordering — simplest (least disruptive) first — then re-run
+and record the trajectory. The loop stops when clean, when the iteration
+budget (schedule!) runs out, or when an iteration makes no edits.
+
+The footnote of Fig 1 maps iterations to schedule: "three weeks for the
+final pass permits five three-day repair and signoff analysis
+iterations" — hence the default ``max_iterations=5`` and the
+``days_per_iteration`` bookkeeping in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.beol.corners import BeolCorner
+from repro.beol.stack import BeolStack
+from repro.errors import ClosureError
+from repro.liberty.library import Library
+from repro.netlist.design import Design
+from repro.netlist.transforms import Edit
+from repro.sta.analysis import STA
+from repro.sta.constraints import Constraints
+from repro.sta.propagation import Derates
+from repro.sta.reports import TimingReport
+from repro.core.fixes import FIX_ENGINES, FixContext
+
+DEFAULT_FIX_ORDER = (
+    "vt_swap",
+    "sizing",
+    "buffering",
+    "ndr",
+    "useful_skew",
+    "slew",
+    "hold_buffering",
+)
+
+
+@dataclass
+class ClosureConfig:
+    """Closure-loop policy knobs."""
+
+    max_iterations: int = 5
+    fix_order: Sequence[str] = DEFAULT_FIX_ORDER
+    budget_per_fix: int = 12
+    endpoint_limit: int = 10
+    days_per_iteration: float = 3.0
+    stop_when_clean: bool = True
+
+    def __post_init__(self):
+        unknown = [f for f in self.fix_order if f not in FIX_ENGINES]
+        if unknown:
+            raise ClosureError(
+                f"unknown fix engines {unknown}; "
+                f"available: {sorted(FIX_ENGINES)}"
+            )
+
+
+@dataclass
+class IterationRecord:
+    """One pass of the Fig 1 loop."""
+
+    iteration: int
+    wns_setup: float
+    tns_setup: float
+    wns_hold: float
+    setup_violations: int
+    hold_violations: int
+    slew_violations: int
+    edits: Dict[str, int] = field(default_factory=dict)
+    #: Fig 1's "breakdown of timing failures" for this iteration.
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_edits(self) -> int:
+        return sum(self.edits.values())
+
+
+@dataclass
+class ClosureReport:
+    """The loop's trajectory and outcome."""
+
+    iterations: List[IterationRecord]
+    final: TimingReport
+    converged: bool
+    schedule_days: float
+
+    @property
+    def initial_wns(self) -> float:
+        return self.iterations[0].wns_setup
+
+    @property
+    def final_wns(self) -> float:
+        return self.final.wns("setup")
+
+    def trajectory(self, metric: str = "wns_setup") -> List[float]:
+        return [getattr(rec, metric) for rec in self.iterations]
+
+    def render(self) -> str:
+        lines = [
+            f"{'iter':>4} {'WNS':>9} {'TNS':>11} {'#setup':>7} "
+            f"{'#hold':>6} {'#slew':>6} {'edits':>6}"
+        ]
+        for rec in self.iterations:
+            lines.append(
+                f"{rec.iteration:>4} {rec.wns_setup:9.2f} "
+                f"{rec.tns_setup:11.2f} {rec.setup_violations:>7} "
+                f"{rec.hold_violations:>6} {rec.slew_violations:>6} "
+                f"{rec.total_edits:>6}"
+            )
+        lines.append(
+            f"final WNS {self.final_wns:.2f} ps after "
+            f"{self.schedule_days:.0f} days "
+            f"({'converged' if self.converged else 'NOT closed'})"
+        )
+        return "\n".join(lines)
+
+
+class ClosureEngine:
+    """Drives the Fig 1 loop for one design and scenario."""
+
+    def __init__(
+        self,
+        design: Design,
+        library: Library,
+        constraints: Constraints,
+        stack: Optional[BeolStack] = None,
+        beol_corner: Optional[BeolCorner] = None,
+        temp_c: Optional[float] = None,
+        derates: Optional[Derates] = None,
+        si_enabled: bool = False,
+    ):
+        self.design = design
+        self.library = library
+        self.constraints = constraints
+        self.stack = stack
+        self.beol_corner = beol_corner
+        self.temp_c = temp_c
+        self.derates = derates
+        self.si_enabled = si_enabled
+
+    def _run_sta(self) -> STA:
+        sta = STA(
+            self.design,
+            self.library,
+            self.constraints,
+            stack=self.stack,
+            beol_corner=self.beol_corner,
+            temp_c=self.temp_c,
+            derates=self.derates,
+            si_enabled=self.si_enabled,
+        )
+        sta.report = sta.run()
+        return sta
+
+    def run(self, config: Optional[ClosureConfig] = None) -> ClosureReport:
+        """Execute the closure loop."""
+        config = config or ClosureConfig()
+        records: List[IterationRecord] = []
+        sta = self._run_sta()
+
+        for iteration in range(1, config.max_iterations + 1):
+            report = sta.report
+            breakdown = dict(report.violation_breakdown("setup"))
+            for key, count in report.violation_breakdown("hold").items():
+                breakdown[f"hold_{key}"] = count
+            record = IterationRecord(
+                iteration=iteration,
+                wns_setup=report.wns("setup"),
+                tns_setup=report.tns("setup"),
+                wns_hold=report.wns("hold"),
+                setup_violations=report.violation_count("setup"),
+                hold_violations=report.violation_count("hold"),
+                slew_violations=len(report.slew_violations),
+                breakdown=breakdown,
+            )
+            records.append(record)
+
+            clean = (
+                not report.violations("setup")
+                and not report.violations("hold")
+                and not report.slew_violations
+            )
+            if clean and config.stop_when_clean:
+                break
+
+            ctx = FixContext(
+                design=self.design,
+                library=self.library,
+                sta=sta,
+                report=report,
+                budget=config.budget_per_fix,
+                endpoint_limit=config.endpoint_limit,
+            )
+            for fix_name in config.fix_order:
+                edits = FIX_ENGINES[fix_name](ctx)
+                if edits:
+                    record.edits[fix_name] = len(edits)
+            if record.total_edits == 0:
+                break  # nothing left to try
+            sta = self._run_sta()
+
+        final = sta.report
+        converged = (
+            not final.violations("setup")
+            and not final.violations("hold")
+            and not final.slew_violations
+        )
+        return ClosureReport(
+            iterations=records,
+            final=final,
+            converged=converged,
+            schedule_days=len(records) * config.days_per_iteration,
+        )

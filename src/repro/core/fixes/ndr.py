@@ -1,0 +1,38 @@
+"""Non-default routing: promote wire-delay-dominated nets on violating
+paths to wider, higher-layer routes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.transforms import Edit, set_ndr
+from repro.core.fixes.context import FixContext
+
+#: A net stage must contribute at least this much delay (ps) to earn NDR.
+WIRE_DELAY_THRESHOLD = 3.0
+
+
+def ndr_fix(ctx: FixContext) -> List[Edit]:
+    """Apply NDR to the slowest wire stages of violating setup paths."""
+    edits: List[Edit] = []
+    for path in ctx.worst_setup_paths():
+        if len(edits) >= ctx.budget:
+            break
+        net_points = [
+            p for p in path.points
+            if p.kind == "net" and not p.ref.is_port
+            and p.ref not in ctx.sta.graph.clock_pins
+            and p.increment >= WIRE_DELAY_THRESHOLD
+        ]
+        net_points.sort(key=lambda p: -p.increment)
+        for point in net_points:
+            if len(edits) >= ctx.budget:
+                break
+            inst = ctx.design.instance(point.ref.instance)
+            net_name = inst.net_of(point.ref.pin)
+            net = ctx.design.get_net(net_name)
+            if net.ndr or net_name in ctx.touched:
+                continue
+            edits.append(set_ndr(ctx.design, net_name))
+            ctx.touched.add(net_name)
+    return edits

@@ -1,0 +1,62 @@
+"""Gate sizing: upsize under-driven cells on violating paths.
+
+Targets the stage with the largest delay increment whose driver is
+small relative to its load — the classic drive-strength repair. Also
+downsizes grossly over-sized cells on paths with huge positive slack
+when invoked in recovery mode (area/power recovery is part of "relentless
+margin recovery", Section 1.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.transforms import Edit, downsize, upsize
+from repro.core.fixes.context import FixContext
+
+
+def sizing_fix(ctx: FixContext) -> List[Edit]:
+    """Upsize the heaviest stages of violating setup paths."""
+    edits: List[Edit] = []
+    for path in ctx.worst_setup_paths():
+        if len(edits) >= ctx.budget:
+            break
+        for point in ctx.cell_points(path):
+            if len(edits) >= ctx.budget:
+                break
+            inst_name = point.ref.instance
+            if not ctx.may_touch(inst_name):
+                continue
+            edit = upsize(ctx.design, ctx.library, inst_name)
+            if edit is not None:
+                edits.append(edit)
+                ctx.mark(inst_name)
+    return edits
+
+
+def area_recovery_fix(ctx: FixContext, slack_guard: float = 80.0) -> List[Edit]:
+    """Downsize cells whose every endpoint has generous slack.
+
+    A light-weight recovery pass: walks endpoints with slack above
+    ``slack_guard`` and downsizes cells on those paths that were not
+    touched by repair engines.
+    """
+    edits: List[Edit] = []
+    relaxed = [
+        e for e in ctx.report.endpoints("setup") if e.slack > slack_guard
+    ]
+    for endpoint in relaxed[: ctx.endpoint_limit]:
+        if len(edits) >= ctx.budget:
+            break
+        path = ctx.sta.worst_path(endpoint)
+        for point in ctx.cell_points(path, largest_first=False):
+            if len(edits) >= ctx.budget:
+                break
+            inst_name = point.ref.instance
+            if not ctx.may_touch(inst_name):
+                continue
+            edit = downsize(ctx.design, ctx.library, inst_name)
+            if edit is not None:
+                edits.append(edit)
+                ctx.mark(inst_name)
+    return edits

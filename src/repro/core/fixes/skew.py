@@ -1,0 +1,48 @@
+"""Useful skew: the last fix in the Fig 1 ordering.
+
+Runs the LP scheduler of :mod:`repro.cts.useful_skew` over the report's
+flop-to-flop stages and merges the chosen offsets into the constraint
+set's per-flop clock latencies. Unlike the netlist fixes this one edits
+*constraints*, so its edits are reported with a dedicated kind.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cts.useful_skew import schedule_useful_skew, stages_from_report
+from repro.netlist.transforms import Edit
+from repro.core.fixes.context import FixContext
+
+
+def useful_skew_fix(ctx: FixContext, max_adjust: float = 15.0) -> List[Edit]:
+    """Schedule and apply useful skew when setup violations remain.
+
+    Conservative by design: small per-iteration adjustments, *all*
+    endpoints considered (every flop pair visible to the report is
+    constrained in the LP), and a standing hold guard — a stage pair not
+    among any endpoint's worst path is still protected by the guard
+    because offsets are bounded by ``max_adjust``.
+    """
+    if not ctx.report.violations("setup"):
+        return []
+    if ctx.report.violations("hold"):
+        return []  # never trade hold risk for setup while hold is dirty
+    stages = stages_from_report(ctx.sta, ctx.report, limit=10000)
+    if not stages:
+        return []
+    result = schedule_useful_skew(stages, max_adjust=max_adjust,
+                                  hold_guard=max_adjust)
+    if result.improvement <= 0.5:  # not worth the clock-tree disturbance
+        return []
+    edits: List[Edit] = []
+    latency = ctx.sta.constraints.clock_latency
+    for flop, offset in result.offsets.items():
+        if offset <= 0.0:
+            continue
+        before = latency.get(flop, 0.0)
+        latency[flop] = before + offset
+        edits.append(
+            Edit("useful_skew", flop, f"{before:.1f}", f"{latency[flop]:.1f}")
+        )
+    return edits

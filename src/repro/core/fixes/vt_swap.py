@@ -1,0 +1,39 @@
+"""Vt-swap: the cheapest fix — no placement or routing disturbance.
+
+Swaps cells on violating setup paths to the next faster threshold flavor
+(svt -> lvt -> ulvt where available). Leakage cost is accepted; MinIA
+interference (Section 2.4) is checked afterward by the closure loop when
+a placement is attached.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.transforms import Edit, swap_vt
+from repro.core.fixes.context import FixContext
+
+_FASTER = {"uhvt": "hvt", "hvt": "svt", "svt": "lvt", "lvt": "ulvt"}
+
+
+def vt_swap_fix(ctx: FixContext) -> List[Edit]:
+    """Swap-down cells on violating setup paths, biggest increments first."""
+    edits: List[Edit] = []
+    for path in ctx.worst_setup_paths():
+        if len(edits) >= ctx.budget:
+            break
+        for point in ctx.cell_points(path):
+            if len(edits) >= ctx.budget:
+                break
+            inst_name = point.ref.instance
+            if not ctx.may_touch(inst_name):
+                continue
+            cell = ctx.library.cell(ctx.design.instance(inst_name).cell_name)
+            faster = _FASTER.get(cell.vt_flavor)
+            if faster is None:
+                continue
+            edit = swap_vt(ctx.design, ctx.library, inst_name, faster)
+            if edit is not None:
+                edits.append(edit)
+                ctx.mark(inst_name)
+    return edits

@@ -1,0 +1,168 @@
+"""Resilient (timing-error-tolerant) design evaluation ([22]).
+
+[Kahng-Kang-Li-Pineda de Gyvez, TODAES'15] improves *resilient design
+implementation*: error-detecting flops plus replay let a design run
+beyond its worst-case signoff point, converting rare timing errors into
+recovery cycles instead of margin. The classic result is a throughput
+curve that rises as the clock is pushed past the worst-case period —
+errors are rare at first — and collapses once the replay penalty
+dominates; the optimum sits beyond the conventional signoff point.
+
+We compute the curve from SSTA slack distributions: each endpoint's
+slack shifts linearly with the period, its failure probability comes
+from the Gaussian slack model (global component integrated out, as in
+:mod:`repro.core.yieldmodel`), and per-cycle error probability combines
+endpoints weighted by their activity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SignoffError
+from repro.variation.ssta import SstaResult
+
+_GLOBAL_GRID = np.linspace(-4.0, 4.0, 61)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Error-recovery cost model.
+
+    Attributes:
+        replay_cycles: cycles lost per detected timing error.
+        endpoint_activity: probability an endpoint's critical path is
+            actually exercised (with worst-case data) in a given cycle.
+        detector_energy_overhead: relative energy cost of the
+            error-detecting flops (paid every cycle).
+    """
+
+    replay_cycles: float = 5.0
+    endpoint_activity: float = 0.05
+    detector_energy_overhead: float = 0.10
+
+
+def cycle_error_probability(
+    ssta: SstaResult,
+    period_shift: float,
+    config: ResilienceConfig = ResilienceConfig(),
+) -> float:
+    """P(at least one timing error in a cycle) at T = T0 + period_shift.
+
+    Slack distributions shift by ``period_shift`` (negative = faster
+    clock); endpoint failures are independent given the global component.
+    """
+    if not ssta.endpoint_slacks:
+        raise SignoffError("SSTA result has no endpoints")
+    z = _GLOBAL_GRID
+    weights = np.exp(-0.5 * z * z)
+    weights /= weights.sum()
+    log_ok = np.zeros_like(z)
+    for dist in ssta.endpoint_slacks.values():
+        mean = dist.mean + period_shift - z * dist.sigma_global
+        local = max(dist.sigma_local, 1e-12)
+        p_fail = 0.5 * (1.0 - np.array(
+            [math.erf(m / (local * math.sqrt(2.0))) for m in mean]
+        ))
+        log_ok += np.log(np.clip(
+            1.0 - config.endpoint_activity * p_fail, 1e-300, 1.0
+        ))
+    return float(min(max(1.0 - (weights * np.exp(log_ok)).sum(), 0.0), 1.0))
+
+
+@dataclass
+class OperatingPoint:
+    """One point of the resilience curve."""
+
+    period: float
+    error_probability: float
+    throughput: float  # useful operations per ns
+    energy_per_op: float  # relative units
+
+    @property
+    def is_error_free(self) -> bool:
+        return self.error_probability < 1e-6
+
+
+def resilience_curve(
+    ssta: SstaResult,
+    base_period: float,
+    periods: Sequence[float],
+    config: ResilienceConfig = ResilienceConfig(),
+) -> List[OperatingPoint]:
+    """Throughput/energy across candidate periods.
+
+    Throughput = (1/T) / (1 + P_err * replay); energy per useful op
+    carries the detector overhead and the replayed cycles.
+    """
+    out: List[OperatingPoint] = []
+    for period in periods:
+        p_err = cycle_error_probability(ssta, period - base_period, config)
+        replay_factor = 1.0 + p_err * config.replay_cycles
+        throughput = (1e3 / period) / replay_factor
+        energy = (1.0 + config.detector_energy_overhead) * replay_factor
+        out.append(
+            OperatingPoint(
+                period=period,
+                error_probability=p_err,
+                throughput=throughput,
+                energy_per_op=energy,
+            )
+        )
+    return out
+
+
+def best_operating_point(curve: Sequence[OperatingPoint]) -> OperatingPoint:
+    """The throughput-optimal point of a resilience curve."""
+    if not curve:
+        raise SignoffError("empty resilience curve")
+    return max(curve, key=lambda p: p.throughput)
+
+
+def worst_case_period(
+    ssta: SstaResult,
+    base_period: float,
+    n_sigma: float = 3.0,
+    flat_margin: float = 0.0,
+) -> float:
+    """The conventional signoff period: error-free at ``n_sigma``
+    confidence *plus* the flat margins a non-resilient design must carry
+    for what cannot be modeled (jitter residue, IR, model error — see
+    :mod:`repro.core.margins`). Resilient designs shed most of that
+    flat margin: an un-modeled slow event becomes a detected error
+    instead of a silent failure."""
+    shift_needed = max(
+        n_sigma * dist.sigma - dist.mean
+        for dist in ssta.endpoint_slacks.values()
+    )
+    return base_period + max(shift_needed, 0.0) + flat_margin
+
+
+def resilience_gain(
+    ssta: SstaResult,
+    base_period: float,
+    config: ResilienceConfig = ResilienceConfig(),
+    flat_margin: float = 30.0,
+    n_candidates: int = 25,
+) -> Dict[str, float]:
+    """Headline comparison: throughput at the resilient optimum vs the
+    conventional worst-case signoff point (which carries ``flat_margin``
+    ps of unmodelled-effects margin that resilience converts to detected
+    errors)."""
+    t_wc = worst_case_period(ssta, base_period, flat_margin=flat_margin)
+    periods = np.linspace(0.8 * t_wc, 1.02 * t_wc, n_candidates)
+    curve = resilience_curve(ssta, base_period, periods, config)
+    best = best_operating_point(curve)
+    conventional = (1e3 / t_wc)
+    return {
+        "worst_case_period": t_wc,
+        "resilient_period": best.period,
+        "conventional_throughput": conventional,
+        "resilient_throughput": best.throughput,
+        "speedup": best.throughput / conventional,
+        "error_probability_at_best": best.error_probability,
+    }

@@ -1,0 +1,139 @@
+"""Parametric timing yield: the "old goal post" vs the new game.
+
+Footnote 7 (Lutkemeyer): "while the game is indeed new (slacks now
+reported at a confidence tail of the slack distribution, affording an
+approximate statistical analysis), the goalposts are actually 'old' in
+that STA tools and timing closure still center on absolute slack
+violations (as opposed to yield losses). Unfortunately, sigmas are
+unstable..."
+
+This module computes what the new goal post *would* be: parametric
+timing yield from SSTA slack distributions (independent local sigmas,
+with the fully-correlated global component integrated out by Gauss-
+Hermite-style quadrature), plus the sensitivity of that yield to sigma
+error — the instability that keeps the old goal post alive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SignoffError
+from repro.netlist.design import PinRef
+from repro.variation.ssta import SstaResult
+
+#: Quadrature grid for the global (die-to-die) component.
+_GLOBAL_GRID = np.linspace(-4.0, 4.0, 81)
+
+
+def endpoint_pass_probability(ssta: SstaResult, endpoint: PinRef,
+                              sigma_scale: float = 1.0) -> float:
+    """P(slack >= 0) for one endpoint, global component integrated out."""
+    dist = ssta.endpoint_slacks[endpoint]
+    return float(
+        _conditional_pass(dist, _GLOBAL_GRID, sigma_scale).mean()
+    )
+
+
+def design_yield(ssta: SstaResult, sigma_scale: float = 1.0) -> float:
+    """Parametric timing yield of the whole design.
+
+    Endpoint failures are independent given the global excursion
+    (their local sigmas are independent), so the yield is the
+    expectation over the global component of the product of conditional
+    pass probabilities. ``sigma_scale`` scales every sigma — the knob
+    for the "sigmas are unstable" sensitivity study.
+    """
+    if not ssta.endpoint_slacks:
+        raise SignoffError("SSTA result has no endpoints")
+    z = _GLOBAL_GRID
+    weights = np.exp(-0.5 * z * z)
+    weights /= weights.sum()
+    log_pass = np.zeros_like(z)
+    for dist in ssta.endpoint_slacks.values():
+        conditional = _conditional_pass(dist, z, sigma_scale)
+        log_pass += np.log(np.clip(conditional, 1e-300, 1.0))
+    return float((weights * np.exp(log_pass)).sum())
+
+
+def _conditional_pass(dist, z: np.ndarray, sigma_scale: float) -> np.ndarray:
+    """P(slack >= 0 | global = z), vectorized over the grid."""
+    mean = dist.mean - z * dist.sigma_global * sigma_scale
+    local = max(dist.sigma_local * sigma_scale, 1e-12)
+    x = mean / (local * math.sqrt(2.0))
+    return 0.5 * (1.0 + np.array([math.erf(v) for v in x]))
+
+
+@dataclass
+class GoalpostComparison:
+    """Old goal post (corner slack) vs new goal post (yield) at one
+    operating point."""
+
+    period: float
+    corner_wns: float  # derated deterministic WNS
+    yield_estimate: float
+    yield_low_sigma: float  # yield if sigmas are 20% larger than believed
+    yield_high_sigma: float  # ... 20% smaller
+
+    @property
+    def corner_passes(self) -> bool:
+        return self.corner_wns >= 0.0
+
+    @property
+    def yield_passes(self) -> bool:
+        return self.yield_estimate >= 0.99
+
+
+def goalpost_sweep(
+    design,
+    library,
+    make_constraints,
+    periods: List[float],
+    derate_percent: float = 0.08,
+    global_sigma_frac: float = 0.3,
+) -> List[GoalpostComparison]:
+    """Compare the two goal posts across a clock-period sweep.
+
+    ``make_constraints(period)`` must return a constraint set. The old
+    goal post runs deterministic STA with a flat OCV derate; the new one
+    runs SSTA and reads the design yield, bracketing it with +/-20%
+    sigma error (the instability that keeps the old post standing).
+    """
+    from repro.sta.analysis import STA
+    from repro.variation.derate import flat_ocv_derates
+    from repro.variation.ssta import run_ssta
+
+    out: List[GoalpostComparison] = []
+    for period in periods:
+        constraints = make_constraints(period)
+        corner_sta = STA(design, library, constraints,
+                         derates=flat_ocv_derates(derate_percent))
+        corner_wns = corner_sta.run().wns("setup")
+
+        stat_sta = STA(design, library, constraints)
+        stat_sta.report = stat_sta.run()
+        ssta = run_ssta(stat_sta, global_sigma_frac=global_sigma_frac)
+        out.append(
+            GoalpostComparison(
+                period=period,
+                corner_wns=corner_wns,
+                yield_estimate=design_yield(ssta),
+                yield_low_sigma=design_yield(ssta, sigma_scale=1.2),
+                yield_high_sigma=design_yield(ssta, sigma_scale=0.8),
+            )
+        )
+    return out
+
+
+def minimum_passing_period(comparisons: List[GoalpostComparison],
+                           goalpost: str) -> Optional[float]:
+    """Smallest period each methodology signs off."""
+    passing = [
+        c.period for c in comparisons
+        if (c.corner_passes if goalpost == "corner" else c.yield_passes)
+    ]
+    return min(passing) if passing else None

@@ -1,0 +1,35 @@
+"""Clock tree synthesis substrate and useful-skew scheduling.
+
+- :mod:`repro.cts.tree` — a clustered buffered clock tree builder
+  (replaces the generators' ideal clock net);
+- :mod:`repro.cts.skew` — insertion delay / skew analysis, including the
+  multi-corner skew-variation metric of the paper's MCMM-CTS discussion;
+- :mod:`repro.cts.useful_skew` — LP-based useful-skew scheduling (one of
+  the Fig 1 closure fixes), applied through per-flop clock latencies.
+"""
+
+from repro.cts.tree import CtsReport, synthesize_clock_tree
+from repro.cts.skew import (
+    DutyCycleReport,
+    SkewReport,
+    clock_skew_report,
+    duty_cycle_report,
+    multi_corner_skew,
+)
+from repro.cts.useful_skew import UsefulSkewResult, schedule_useful_skew
+from repro.cts.adb import AdbMenu, assign_per_mode, assign_static
+
+__all__ = [
+    "CtsReport",
+    "synthesize_clock_tree",
+    "SkewReport",
+    "DutyCycleReport",
+    "clock_skew_report",
+    "duty_cycle_report",
+    "multi_corner_skew",
+    "UsefulSkewResult",
+    "schedule_useful_skew",
+    "AdbMenu",
+    "assign_per_mode",
+    "assign_static",
+]

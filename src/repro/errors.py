@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro timing-closure framework.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses indicate which subsystem raised the error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the analytical circuit simulator cannot run or converge."""
+
+
+class NetlistError(ReproError):
+    """Raised on malformed netlist construction or lookup failures."""
+
+
+class LibraryError(ReproError):
+    """Raised on library/table construction or lookup failures."""
+
+
+class TimingError(ReproError):
+    """Raised by the STA engine (graph construction, propagation, reporting)."""
+
+
+class ConstraintError(ReproError):
+    """Raised on invalid or inconsistent timing constraints."""
+
+
+class CornerError(ReproError):
+    """Raised by BEOL/PVT corner definition and algebra."""
+
+
+class PlacementError(ReproError):
+    """Raised by the placement substrate (rows, legalization, MinIA)."""
+
+
+class ClosureError(ReproError):
+    """Raised by the timing-closure loop and fix engines."""
+
+
+class SignoffError(ReproError):
+    """Raised by the signoff-criteria engine."""

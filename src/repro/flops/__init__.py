@@ -1,0 +1,19 @@
+"""Interdependent flip-flop timing (the paper's Section 3.4 / Fig 10).
+
+- :mod:`repro.flops.model` — an analytic c2q(setup, hold) surface fitted
+  to the transistor-level six-NAND flop, plus the conventional fixed
+  pushout-criterion characterization it generalizes;
+- :mod:`repro.flops.recovery` — the [Kahng-Lee ISQED'14]-style margin
+  recovery: a sequential linear program that picks per-flop operating
+  points on the c2q-setup tradeoff to improve worst slack.
+"""
+
+from repro.flops.model import InterdependentFlopModel, default_flop_model
+from repro.flops.recovery import RecoveryResult, recover_margin
+
+__all__ = [
+    "InterdependentFlopModel",
+    "default_flop_model",
+    "RecoveryResult",
+    "recover_margin",
+]

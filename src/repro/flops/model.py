@@ -1,0 +1,180 @@
+"""Analytic interdependent flip-flop timing model.
+
+The clock-to-q delay of a real flop is not a constant: it blows up as the
+data-to-clock setup (or hold) margin shrinks, until capture fails
+entirely (Fig 10). We model the surface as
+
+    c2q(s, h) = c2q_inf + a_s * exp(-(s - s_wall) / tau_s)
+                        + a_h * exp(-(h - h_wall) / tau_h)
+
+which captures the three Fig 10 panels: c2q vs setup, c2q vs hold, and
+the setup-hold interdependency contour (pairs (s, h) with equal c2q).
+
+``default_flop_model`` carries constants calibrated against the
+transistor-level six-NAND flop of :mod:`repro.spice.gates`; the
+correspondence is pinned by tests. ``fit`` re-derives constants from any
+measured (setup, c2q) curve via least squares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class InterdependentFlopModel:
+    """The c2q(setup, hold) surface.
+
+    All times in ps. ``s_wall``/``h_wall`` are the metastability walls:
+    the model is defined for setup > s_wall and hold > h_wall.
+    """
+
+    c2q_inf: float = 52.0
+    a_s: float = 8.0
+    tau_s: float = 9.0
+    s_wall: float = 3.0
+    a_h: float = 0.35
+    tau_h: float = 25.0
+    h_wall: float = -5.0
+
+    def c2q(self, setup: float, hold: float = 150.0) -> float:
+        """Clock-to-q delay at a (setup, hold) operating point."""
+        if setup <= self.s_wall or hold <= self.h_wall:
+            raise ReproError(
+                f"operating point (setup={setup}, hold={hold}) is beyond "
+                "the metastability wall"
+            )
+        return (
+            self.c2q_inf
+            + self.a_s * math.exp(-(setup - self.s_wall) / self.tau_s)
+            + self.a_h * math.exp(-(hold - self.h_wall) / self.tau_h)
+        )
+
+    def dc2q_dsetup(self, setup: float, hold: float = 150.0) -> float:
+        """Slope of c2q w.r.t. setup (negative: more margin, faster c2q)."""
+        if setup <= self.s_wall:
+            raise ReproError("beyond the setup wall")
+        return -(self.a_s / self.tau_s) * math.exp(
+            -(setup - self.s_wall) / self.tau_s
+        )
+
+    def pushout_setup(self, fraction: float = 0.10,
+                      hold: float = 150.0) -> float:
+        """The conventional fixed characterization: the setup time at
+        which c2q degrades by ``fraction`` over c2q at generous margins.
+
+        Solves c2q(s) = (1 + fraction) * c2q(inf) analytically.
+        """
+        base = self.c2q(1e6, hold)
+        target_excess = fraction * base
+        if target_excess >= self.a_s:
+            return self.s_wall + 0.5  # pushout hugs the wall
+        return self.s_wall - self.tau_s * math.log(target_excess / self.a_s)
+
+    def pushout_hold(self, fraction: float = 0.10,
+                     setup: float = 150.0) -> float:
+        """Hold-side pushout characterization."""
+        base = self.c2q(setup, 1e6)
+        target_excess = fraction * base
+        if target_excess >= self.a_h:
+            return self.h_wall + 0.5
+        return self.h_wall - self.tau_h * math.log(target_excess / self.a_h)
+
+    def equal_c2q_contour(
+        self, c2q_target: float, setups: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(setup, hold) pairs with c2q == target — Fig 10(iii)."""
+        out = []
+        for s in setups:
+            if s <= self.s_wall:
+                continue
+            residual = (
+                c2q_target
+                - self.c2q_inf
+                - self.a_s * math.exp(-(s - self.s_wall) / self.tau_s)
+            )
+            if residual <= 0 or residual >= self.a_h:
+                continue
+            h = self.h_wall - self.tau_h * math.log(residual / self.a_h)
+            out.append((s, h))
+        return out
+
+    @classmethod
+    def fit(
+        cls,
+        setup_curve: Sequence[Tuple[float, float]],
+        hold_curve: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> "InterdependentFlopModel":
+        """Least-squares fit of the setup branch (and optionally the hold
+        branch) from measured (margin, c2q) samples.
+
+        Samples with c2q None (capture failures) locate the wall.
+        """
+        from scipy.optimize import curve_fit
+
+        captured = [(s, c) for s, c in setup_curve if c is not None]
+        failed = [s for s, c in setup_curve if c is None]
+        if len(captured) < 4:
+            raise ReproError("need at least 4 captured samples to fit")
+        s_wall = max(failed) if failed else min(s for s, _ in captured) - 10.0
+
+        s_arr = np.array([s for s, _ in captured])
+        c_arr = np.array([c for _, c in captured])
+
+        def surface(s, c2q_inf, a_s, tau_s):
+            return c2q_inf + a_s * np.exp(-(s - s_wall) / tau_s)
+
+        p0 = (float(c_arr.min()), float(c_arr.max() - c_arr.min()), 10.0)
+        (c2q_inf, a_s, tau_s), _ = curve_fit(
+            surface, s_arr, c_arr, p0=p0, maxfev=20000
+        )
+
+        a_h, tau_h, h_wall = 0.35, 25.0, -5.0
+        if hold_curve:
+            h_captured = [(h, c) for h, c in hold_curve if c is not None]
+            h_failed = [h for h, c in hold_curve if c is None]
+            if len(h_captured) >= 4:
+                h_wall = max(h_failed) if h_failed else \
+                    min(h for h, _ in h_captured) - 10.0
+
+                def h_surface(h, a_h_, tau_h_):
+                    return c2q_inf + a_h_ * np.exp(-(h - h_wall) / tau_h_)
+
+                try:
+                    (a_h, tau_h), _ = curve_fit(
+                        h_surface,
+                        np.array([h for h, _ in h_captured]),
+                        np.array([c for _, c in h_captured]),
+                        p0=(1.0, 20.0),
+                        maxfev=20000,
+                    )
+                except RuntimeError:
+                    pass  # keep defaults when the hold branch is too flat
+        return cls(
+            c2q_inf=float(c2q_inf),
+            a_s=float(abs(a_s)),
+            tau_s=float(abs(tau_s)),
+            s_wall=float(s_wall),
+            a_h=float(abs(a_h)),
+            tau_h=float(abs(tau_h)),
+            h_wall=float(h_wall),
+        )
+
+
+def default_flop_model() -> InterdependentFlopModel:
+    """Constants calibrated against the six-NAND flop at 0.8 V / 25 C."""
+    return InterdependentFlopModel(
+        c2q_inf=52.3,
+        a_s=115.0,
+        tau_s=10.5,
+        s_wall=4.0,
+        a_h=0.45,
+        tau_h=28.0,
+        h_wall=-4.0,
+    )

@@ -1,0 +1,41 @@
+"""Library modeling: NLDM tables and the variation-model ladder.
+
+This package is the framework's equivalent of a Liberty timing library and
+its modern extensions:
+
+- :mod:`repro.liberty.tables` — 2-D lookup tables with bilinear
+  interpolation (the NLDM core);
+- :mod:`repro.liberty.arcs` — delay, slew and constraint timing arcs;
+- :mod:`repro.liberty.cell` — cells, pins, footprints, leakage and area;
+- :mod:`repro.liberty.library` — the library container with footprint /
+  Vt-variant queries used by sizing and Vt-swap optimization;
+- :mod:`repro.liberty.stdcells` — an analytic standard-cell factory whose
+  delay equations derive from the same alpha-power device physics as
+  :mod:`repro.spice` (so voltage scaling and temperature inversion carry
+  through to STA);
+- :mod:`repro.liberty.lvf` / :mod:`repro.liberty.aocv` — the LVF and
+  AOCV/POCV variation models of the paper's Section 3.1;
+- :mod:`repro.liberty.characterize` — true simulation-based
+  characterization against :mod:`repro.spice`;
+- :mod:`repro.liberty.io` — Liberty-lite text writer/parser.
+"""
+
+from repro.liberty.tables import LookupTable2D
+from repro.liberty.arcs import ArcTiming, TimingArc, TimingSense, TimingType
+from repro.liberty.cell import Cell, Pin, PinDirection
+from repro.liberty.library import Library
+from repro.liberty.stdcells import make_library, LibraryCondition
+
+__all__ = [
+    "LookupTable2D",
+    "TimingArc",
+    "ArcTiming",
+    "TimingSense",
+    "TimingType",
+    "Cell",
+    "Pin",
+    "PinDirection",
+    "Library",
+    "make_library",
+    "LibraryCondition",
+]

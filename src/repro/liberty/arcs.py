@@ -1,0 +1,146 @@
+"""Timing arcs: delay/slew arcs, clock-to-q arcs and constraint arcs.
+
+An arc connects a related (input) pin to an output or constrained pin.
+Delay arcs carry NLDM tables per output transition direction, plus optional
+LVF sigma tables (:mod:`repro.liberty.lvf`) used by variation-aware STA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import LibraryError
+from repro.liberty.tables import LookupTable2D
+
+
+class TimingSense(enum.Enum):
+    """Unateness of a combinational arc."""
+
+    POSITIVE_UNATE = "positive_unate"
+    NEGATIVE_UNATE = "negative_unate"
+    NON_UNATE = "non_unate"
+
+    def output_directions(self, input_direction: str) -> Tuple[str, ...]:
+        """Output transition directions triggered by an input transition."""
+        if self is TimingSense.POSITIVE_UNATE:
+            return (input_direction,)
+        if self is TimingSense.NEGATIVE_UNATE:
+            return ("fall",) if input_direction == "rise" else ("rise",)
+        return ("rise", "fall")
+
+    def input_direction_for(self, output_direction: str) -> Tuple[str, ...]:
+        """Input transition directions that can cause an output transition."""
+        if self is TimingSense.POSITIVE_UNATE:
+            return (output_direction,)
+        if self is TimingSense.NEGATIVE_UNATE:
+            return ("fall",) if output_direction == "rise" else ("rise",)
+        return ("rise", "fall")
+
+
+class TimingType(enum.Enum):
+    """Arc role, a compact subset of Liberty timing_type values."""
+
+    COMBINATIONAL = "combinational"
+    RISING_EDGE = "rising_edge"  # clock -> q launch arc
+    SETUP_RISING = "setup_rising"
+    HOLD_RISING = "hold_rising"
+
+    @property
+    def is_constraint(self) -> bool:
+        return self in (TimingType.SETUP_RISING, TimingType.HOLD_RISING)
+
+    @property
+    def is_delay(self) -> bool:
+        return not self.is_constraint
+
+
+@dataclass
+class ArcTiming:
+    """Delay and output-slew tables for one output transition direction.
+
+    ``sigma_early``/``sigma_late`` are optional LVF-style standard
+    deviations of the delay at the same (slew, load) grid; late is used for
+    setup (max) analysis and early for hold (min) analysis — the paper's
+    Fig 7 explains why the two differ.
+    """
+
+    delay: LookupTable2D
+    slew: LookupTable2D
+    sigma_early: Optional[LookupTable2D] = None
+    sigma_late: Optional[LookupTable2D] = None
+
+
+@dataclass
+class TimingArc:
+    """One timing arc of a cell.
+
+    For delay arcs, ``timing`` maps output direction ("rise"/"fall") to
+    :class:`ArcTiming`. For constraint arcs (setup/hold), ``constraint``
+    maps the *data* transition direction to a table of required time
+    indexed by (data slew, clock slew).
+    """
+
+    related_pin: str
+    pin: str
+    timing_type: TimingType = TimingType.COMBINATIONAL
+    sense: TimingSense = TimingSense.NEGATIVE_UNATE
+    timing: Dict[str, ArcTiming] = field(default_factory=dict)
+    constraint: Dict[str, LookupTable2D] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.timing_type.is_delay and self.constraint:
+            raise LibraryError("delay arcs must not carry constraint tables")
+        if self.timing_type.is_constraint and self.timing:
+            raise LibraryError("constraint arcs must not carry delay tables")
+
+    # ------------------------------------------------------------------ #
+
+    def delay_and_slew(
+        self, out_direction: str, in_slew: float, load: float
+    ) -> Tuple[float, float]:
+        """Nominal delay and output slew for an output transition."""
+        timing = self._timing_for(out_direction)
+        return (
+            timing.delay.lookup(in_slew, load),
+            timing.slew.lookup(in_slew, load),
+        )
+
+    def sigma(
+        self, out_direction: str, in_slew: float, load: float, mode: str
+    ) -> Optional[float]:
+        """LVF delay sigma (``mode`` is "early" or "late"), if present."""
+        timing = self._timing_for(out_direction)
+        table = timing.sigma_late if mode == "late" else timing.sigma_early
+        if table is None:
+            return None
+        return table.lookup(in_slew, load)
+
+    def constraint_value(
+        self, data_direction: str, data_slew: float, clock_slew: float
+    ) -> float:
+        """Required setup/hold time for a data transition direction."""
+        try:
+            table = self.constraint[data_direction]
+        except KeyError:
+            raise LibraryError(
+                f"arc {self.related_pin}->{self.pin} has no constraint table "
+                f"for data direction {data_direction!r}"
+            ) from None
+        return table.lookup(data_slew, clock_slew)
+
+    def _timing_for(self, out_direction: str) -> ArcTiming:
+        try:
+            return self.timing[out_direction]
+        except KeyError:
+            raise LibraryError(
+                f"arc {self.related_pin}->{self.pin} has no timing for "
+                f"output direction {out_direction!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingArc({self.related_pin}->{self.pin}, "
+            f"{self.timing_type.value}, {self.sense.value})"
+        )

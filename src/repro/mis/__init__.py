@@ -1,0 +1,18 @@
+"""Multi-input switching (MIS) analysis — the paper's Section 2.1 / Fig 4.
+
+- :mod:`repro.mis.analysis` — SIS-vs-MIS characterization sweeps through
+  the transistor-level simulator;
+- :mod:`repro.mis.derate` — a practical MIS derate model (in the spirit of
+  [Lutkemeyer TAU'15]) and its application to hold signoff.
+"""
+
+from repro.mis.analysis import Fig4Row, fig4_study, mis_window_probability
+from repro.mis.derate import MisDerateModel, mis_hold_adjustments
+
+__all__ = [
+    "Fig4Row",
+    "fig4_study",
+    "mis_window_probability",
+    "MisDerateModel",
+    "mis_hold_adjustments",
+]

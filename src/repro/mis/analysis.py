@@ -1,0 +1,93 @@
+"""SIS-vs-MIS characterization (the Fig 4 experiment).
+
+Runs the paper's exact procedure through the analytical simulator: NAND2
+with an FO3 load, ramp on IN, the IN1 arrival offset swept, at nominal
+and 80%-of-nominal supply, for rising and falling inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.spice.testbench import MisStudy, mis_sis_delays
+
+
+@dataclass
+class Fig4Row:
+    """One (voltage, input direction) row of the Fig 4 comparison."""
+
+    vdd: float
+    input_direction: str
+    sis_delay: float
+    mis_delay: float  # the signoff-relevant extreme (min for fall, max-at-
+    # simultaneity for rise)
+    study: MisStudy
+
+    @property
+    def ratio(self) -> float:
+        return self.mis_delay / self.sis_delay
+
+    @property
+    def hold_critical(self) -> bool:
+        """The arc got faster under MIS — dangerous for hold signoff."""
+        return self.ratio < 1.0
+
+
+def fig4_study(
+    nominal_vdd: float = 0.8,
+    voltages: Optional[Sequence[float]] = None,
+    in_slew: float = 20.0,
+    fanout: int = 3,
+    offsets: Optional[Sequence[float]] = None,
+    dt: float = 0.5,
+) -> List[Fig4Row]:
+    """Run the full Fig 4 matrix: both directions at both voltages.
+
+    For falling inputs the reported MIS delay is the sweep minimum (the
+    hold-critical speedup); for rising inputs it is the simultaneous-
+    arrival delay (the setup-critical slowdown) — matching how the two
+    halves of Fig 4(b) are read.
+    """
+    voltages = list(voltages) if voltages is not None else \
+        [nominal_vdd, 0.8 * nominal_vdd]
+    offsets = list(offsets) if offsets is not None else \
+        [-30.0, -15.0, -5.0, 0.0, 5.0, 15.0, 30.0]
+    rows: List[Fig4Row] = []
+    for vdd in voltages:
+        for direction in ("rise", "fall"):
+            study = mis_sis_delays(
+                vdd=vdd,
+                input_direction=direction,
+                in_slew=in_slew,
+                fanout=fanout,
+                offsets=offsets,
+                dt=dt,
+            )
+            mis = (
+                study.mis_min_delay
+                if direction == "fall"
+                else study.mis_simultaneous_delay
+            )
+            rows.append(
+                Fig4Row(
+                    vdd=vdd,
+                    input_direction=direction,
+                    sis_delay=study.sis_delay,
+                    mis_delay=mis,
+                    study=study,
+                )
+            )
+    return rows
+
+
+def mis_window_probability(
+    arrival_a: float, arrival_b: float, window: float
+) -> float:
+    """A triangular overlap weight: 1 at simultaneous arrival, linearly
+    falling to 0 when the offset reaches ``window``. Used to decide which
+    gates need MIS-aware hold derating."""
+    offset = abs(arrival_a - arrival_b)
+    if window <= 0.0:
+        return 0.0
+    return max(0.0, 1.0 - offset / window)

@@ -1,0 +1,13 @@
+"""Gate-level netlist data model and synthetic benchmark generators.
+
+- :mod:`repro.netlist.design` — instances, nets, ports and the
+  :class:`~repro.netlist.design.Design` container;
+- :mod:`repro.netlist.transforms` — the edits closure optimizations make
+  (cell swap, resize, buffer insertion);
+- :mod:`repro.netlist.generators` — deterministic synthetic circuits
+  standing in for the paper's benchmarks (c5315, c7552, AES, MPEG2).
+"""
+
+from repro.netlist.design import Design, Instance, Net, PinRef, PortDirection
+
+__all__ = ["Design", "Instance", "Net", "PinRef", "PortDirection"]

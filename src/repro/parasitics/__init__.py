@@ -1,0 +1,19 @@
+"""Parasitic RC synthesis and wire-delay metrics.
+
+- :mod:`repro.parasitics.rctree` — RC trees with Elmore and D2M delays;
+- :mod:`repro.parasitics.synthesis` — per-net RC models from placement
+  geometry, BEOL stack and extraction corner;
+- :mod:`repro.parasitics.spef` — SPEF-lite writer/parser.
+"""
+
+from repro.parasitics.rctree import RCTree
+from repro.parasitics.synthesis import NetParasitics, ParasiticExtractor
+from repro.parasitics.statistical import RcSigmas, StatisticalAnnotator
+
+__all__ = [
+    "RCTree",
+    "NetParasitics",
+    "ParasiticExtractor",
+    "RcSigmas",
+    "StatisticalAnnotator",
+]

@@ -1,0 +1,94 @@
+"""SPEF-lite: a compact parasitic exchange format.
+
+Serializes the star-model :class:`~repro.parasitics.synthesis.NetParasitics`
+of a design so extracted corners can be stored and reloaded without
+re-running synthesis. The format mirrors real SPEF's D_NET structure::
+
+    *SPEF repro-lite
+    *DESIGN tiny
+    *CORNER cw
+    *D_NET n1 4.231
+    *LAYER M2 12.5
+    *COUP 0.62
+    *SINK u2/A 0.125 1.871
+    *END
+
+Values: total wire cap (fF); layer and length (um); coupling cap (fF);
+per-sink path resistance (kohm) and local wire cap (fF).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.netlist.design import PinRef
+from repro.parasitics.synthesis import NetParasitics
+
+
+def write_spef(design_name: str, corner_name: str,
+               parasitics: Dict[str, NetParasitics]) -> str:
+    """Serialize extracted parasitics to SPEF-lite text."""
+    lines: List[str] = [
+        "*SPEF repro-lite",
+        f"*DESIGN {design_name}",
+        f"*CORNER {corner_name}",
+    ]
+    for net_name in sorted(parasitics):
+        para = parasitics[net_name]
+        lines.append(f"*D_NET {para.net_name} {para.wire_cap!r}")
+        lines.append(f"*LAYER {para.layer_name} {para.length!r}")
+        lines.append(f"*COUP {para.coupling_cap!r}")
+        for sink in sorted(para.sink_resistance, key=str):
+            lines.append(
+                f"*SINK {sink} {para.sink_resistance[sink]!r} "
+                f"{para.sink_wire_cap[sink]!r}"
+            )
+        lines.append("*END")
+    return "\n".join(lines) + "\n"
+
+
+def parse_spef(text: str) -> Dict[str, NetParasitics]:
+    """Parse SPEF-lite text back to per-net parasitics."""
+    nets: Dict[str, NetParasitics] = {}
+    current: NetParasitics = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*SPEF") or line.startswith("*DESIGN") \
+                or line.startswith("*CORNER"):
+            continue
+        fields = line.split()
+        tag = fields[0]
+        try:
+            if tag == "*D_NET":
+                current = NetParasitics(
+                    net_name=fields[1],
+                    layer_name="",
+                    length=0.0,
+                    wire_cap=float(fields[2]),
+                    coupling_cap=0.0,
+                )
+                nets[fields[1]] = current
+            elif tag == "*LAYER":
+                current.layer_name = fields[1]
+                current.length = float(fields[2])
+            elif tag == "*COUP":
+                current.coupling_cap = float(fields[1])
+            elif tag == "*SINK":
+                ref = _parse_pin_ref(fields[1])
+                current.sink_resistance[ref] = float(fields[2])
+                current.sink_wire_cap[ref] = float(fields[3])
+            elif tag == "*END":
+                current = None
+            else:
+                raise ReproError(f"unknown SPEF-lite tag {tag!r}")
+        except (IndexError, ValueError, AttributeError) as exc:
+            raise ReproError(f"malformed SPEF-lite line {line!r}: {exc}") from exc
+    return nets
+
+
+def _parse_pin_ref(text: str) -> PinRef:
+    if "/" in text:
+        instance, pin = text.rsplit("/", 1)
+        return PinRef(instance, pin)
+    return PinRef("", text)

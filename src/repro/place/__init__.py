@@ -1,0 +1,27 @@
+"""Row-based placement substrate and MinIA interference analysis.
+
+- :mod:`repro.place.rows` — rows of placed cells derived from instance
+  locations, with legalization;
+- :mod:`repro.place.minia` — the minimum-implant-area rule of the paper's
+  Section 2.4 / Fig 6(a): checker and the [Kahng-Lee GLSVLSI'14]-style
+  fixer that removes violations with Vt-swaps and minimal placement
+  perturbation under timing/power guards.
+"""
+
+from repro.place.rows import PlacedCell, Placement, Row
+from repro.place.minia import (
+    Island,
+    MiniaFixReport,
+    find_minia_violations,
+    fix_minia_violations,
+)
+
+__all__ = [
+    "PlacedCell",
+    "Placement",
+    "Row",
+    "Island",
+    "MiniaFixReport",
+    "find_minia_violations",
+    "fix_minia_violations",
+]

@@ -1,0 +1,142 @@
+"""Row-based placement derived from instance locations.
+
+The framework's generators assign (x, y) locations; this module snaps
+them into standard-cell rows (fixed height, ordered cells, widths from
+cell area) — enough structure for implant-layer (MinIA) analysis and for
+displacement-cost accounting when the fixer perturbs placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import PlacementError
+from repro.liberty.library import Library
+from repro.netlist.design import Design
+
+ROW_HEIGHT = 1.4  # um
+#: Cell width per unit of library area, um (area is in abstract units).
+WIDTH_PER_AREA = 0.6
+
+
+@dataclass
+class PlacedCell:
+    """One cell in a row."""
+
+    name: str
+    x: float  # left edge, um
+    width: float  # um
+    vt_flavor: str
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+
+@dataclass
+class Row:
+    """One placement row: cells kept sorted and non-overlapping."""
+
+    index: int
+    cells: List[PlacedCell] = field(default_factory=list)
+
+    @property
+    def y(self) -> float:
+        return self.index * ROW_HEIGHT
+
+    def sort(self) -> None:
+        self.cells.sort(key=lambda c: c.x)
+
+    def legalize(self) -> float:
+        """Remove overlaps by pushing cells right; returns the total
+        displacement (um)."""
+        self.sort()
+        displacement = 0.0
+        cursor = None
+        for cell in self.cells:
+            if cursor is not None and cell.x < cursor:
+                displacement += cursor - cell.x
+                cell.x = cursor
+            cursor = cell.right
+        return displacement
+
+    def runs(self) -> List[List[PlacedCell]]:
+        """Maximal runs of *abutting* same-flavor cells, left to right.
+
+        A gap between cells breaks the run: an implant island's width is
+        only what the abutting same-flavor group covers.
+        """
+        self.sort()
+        out: List[List[PlacedCell]] = []
+        current: List[PlacedCell] = []
+        for cell in self.cells:
+            if (
+                current
+                and current[-1].vt_flavor == cell.vt_flavor
+                and abs(current[-1].right - cell.x) < 1e-6
+            ):
+                current.append(cell)
+            else:
+                if current:
+                    out.append(current)
+                current = [cell]
+        if current:
+            out.append(current)
+        return out
+
+
+class Placement:
+    """All rows of a design."""
+
+    def __init__(self, rows: Dict[int, Row]):
+        self.rows = rows
+
+    @classmethod
+    def from_design(cls, design: Design, library: Library) -> "Placement":
+        """Snap instance locations into legalized rows.
+
+        Unplaced instances are skipped (they carry no implant geometry).
+        """
+        rows: Dict[int, Row] = {}
+        for inst in design.instances.values():
+            if inst.location is None:
+                continue
+            cell = library.cell(inst.cell_name)
+            row_idx = int(round(inst.location[1] / ROW_HEIGHT))
+            row = rows.setdefault(row_idx, Row(index=row_idx))
+            row.cells.append(
+                PlacedCell(
+                    name=inst.name,
+                    x=inst.location[0],
+                    width=max(cell.area * WIDTH_PER_AREA, 0.1),
+                    vt_flavor=cell.vt_flavor,
+                )
+            )
+        for row in rows.values():
+            row.legalize()
+        return cls(rows)
+
+    def cell(self, name: str) -> PlacedCell:
+        for row in self.rows.values():
+            for cell in row.cells:
+                if cell.name == name:
+                    return cell
+        raise PlacementError(f"no placed cell {name!r}")
+
+    def total_cells(self) -> int:
+        return sum(len(r.cells) for r in self.rows.values())
+
+    def abut_all(self) -> None:
+        """Pack each row's cells into an abutting block (keeps order).
+
+        Mimics a high-utilization region where implant islands actually
+        interact; generators leave channel gaps otherwise.
+        """
+        for row in self.rows.values():
+            row.sort()
+            cursor: Optional[float] = None
+            for cell in row.cells:
+                if cursor is not None:
+                    cell.x = cursor
+                cursor = cell.right

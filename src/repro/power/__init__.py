@@ -1,0 +1,5 @@
+"""Power models: leakage rollups and switching (dynamic) power."""
+
+from repro.power.models import PowerReport, design_power, dynamic_power
+
+__all__ = ["PowerReport", "design_power", "dynamic_power"]

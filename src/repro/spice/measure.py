@@ -1,0 +1,134 @@
+"""Waveform measurements: threshold crossings, delays and transition times.
+
+Conventions match standard library characterization: delays are measured
+between 50% crossings of input and output; transition (slew) times between
+the 20% and 80% points unless overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+DELAY_THRESHOLD = 0.5
+SLEW_LOW = 0.2
+SLEW_HIGH = 0.8
+
+
+def crossing_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    level: float,
+    direction: str = "any",
+    after: float = -np.inf,
+    nth: int = 1,
+) -> Optional[float]:
+    """Time of the ``nth`` crossing of ``level``, linearly interpolated.
+
+    Args:
+        times, values: the waveform samples.
+        level: absolute voltage threshold.
+        direction: ``"rise"``, ``"fall"`` or ``"any"``.
+        after: ignore crossings at or before this time.
+        nth: 1-based index of the crossing to return.
+
+    Returns:
+        The crossing time in ps, or ``None`` if it never occurs.
+    """
+    if direction not in ("rise", "fall", "any"):
+        raise SimulationError(f"bad direction {direction!r}")
+    below = values < level
+    count = 0
+    for i in range(1, len(times)):
+        if times[i] <= after:
+            continue
+        rises = below[i - 1] and not below[i]
+        falls = not below[i - 1] and below[i]
+        if direction == "rise" and not rises:
+            continue
+        if direction == "fall" and not falls:
+            continue
+        if direction == "any" and not (rises or falls):
+            continue
+        dv = values[i] - values[i - 1]
+        if dv == 0.0:
+            continue
+        frac = (level - values[i - 1]) / dv
+        t_cross = times[i - 1] + frac * (times[i] - times[i - 1])
+        if t_cross <= after:
+            continue
+        count += 1
+        if count == nth:
+            return float(t_cross)
+    return None
+
+
+def delay_between(
+    times: np.ndarray,
+    wave_in: np.ndarray,
+    wave_out: np.ndarray,
+    vdd: float,
+    in_direction: str,
+    out_direction: str,
+    after: float = -np.inf,
+    threshold: float = DELAY_THRESHOLD,
+) -> float:
+    """50%-to-50% delay from an input transition to the next output one.
+
+    Raises :class:`SimulationError` when either crossing is missing — a
+    missing output crossing usually means the testbench window is too short
+    or the gate never switched.
+    """
+    level = threshold * vdd
+    t_in = crossing_time(times, wave_in, level, in_direction, after=after)
+    if t_in is None:
+        raise SimulationError("input never crossed its delay threshold")
+    t_out = crossing_time(times, wave_out, level, out_direction, after=t_in)
+    if t_out is None:
+        raise SimulationError("output never crossed its delay threshold")
+    return t_out - t_in
+
+
+def transition_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    vdd: float,
+    direction: str,
+    after: float = -np.inf,
+    low: float = SLEW_LOW,
+    high: float = SLEW_HIGH,
+) -> float:
+    """Output transition (slew) time between the ``low`` and ``high``
+    fractional thresholds, for the first transition after ``after``."""
+    lo_level, hi_level = low * vdd, high * vdd
+    if direction == "rise":
+        t_lo = crossing_time(times, values, lo_level, "rise", after=after)
+        if t_lo is None:
+            raise SimulationError("no rising transition found")
+        t_hi = crossing_time(times, values, hi_level, "rise", after=t_lo)
+        if t_hi is None:
+            raise SimulationError("rising transition did not complete")
+        return t_hi - t_lo
+    if direction == "fall":
+        t_hi = crossing_time(times, values, hi_level, "fall", after=after)
+        if t_hi is None:
+            raise SimulationError("no falling transition found")
+        t_lo = crossing_time(times, values, lo_level, "fall", after=t_hi)
+        if t_lo is None:
+            raise SimulationError("falling transition did not complete")
+        return t_lo - t_hi
+    raise SimulationError(f"bad direction {direction!r}")
+
+
+def slew_to_ramp_duration(slew: float, low: float = SLEW_LOW, high: float = SLEW_HIGH) -> float:
+    """Convert a measured (20-80%) slew to the full 0-100% ramp duration
+    used by :class:`repro.spice.stimulus.Ramp`."""
+    return slew / (high - low)
+
+
+def ramp_duration_to_slew(duration: float, low: float = SLEW_LOW, high: float = SLEW_HIGH) -> float:
+    """Inverse of :func:`slew_to_ramp_duration`."""
+    return duration * (high - low)

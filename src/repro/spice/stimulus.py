@@ -1,0 +1,108 @@
+"""Stimulus waveforms for the transient solver.
+
+A waveform is anything with a ``value(t)`` method returning volts at time
+``t`` (ps). Waveforms are defined for all real ``t``; before their first
+breakpoint they hold their initial value, which lets the solver settle a
+circuit by simulating from negative time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Waveform:
+    """Base class for stimulus waveforms."""
+
+    def value(self, t: float) -> float:
+        """Voltage at time ``t`` (ps)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Waveform):
+    """A DC source (e.g. VDD, a held input)."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Ramp(Waveform):
+    """A single linear transition from ``v0`` to ``v1``.
+
+    The ramp starts at ``t_start`` and lasts ``duration`` ps. ``duration``
+    is the full 0-100% transition time; characterization code converts
+    between measurement-threshold slew and full ramp time.
+    """
+
+    t_start: float
+    duration: float
+    v0: float
+    v1: float
+
+    def value(self, t: float) -> float:
+        if t <= self.t_start:
+            return self.v0
+        if t >= self.t_start + self.duration:
+            return self.v1
+        frac = (t - self.t_start) / self.duration
+        return self.v0 + frac * (self.v1 - self.v0)
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """A periodic pulse train (clock).
+
+    Rises at ``t_start + n * period``, stays high for ``width``, with linear
+    edges of ``edge`` ps. Starts low.
+    """
+
+    t_start: float
+    period: float
+    width: float
+    v_low: float
+    v_high: float
+    edge: float = 5.0
+
+    def value(self, t: float) -> float:
+        if t < self.t_start:
+            return self.v_low
+        phase = (t - self.t_start) % self.period
+        if phase < self.edge:
+            return self.v_low + (self.v_high - self.v_low) * phase / self.edge
+        if phase < self.edge + self.width:
+            return self.v_high
+        if phase < 2.0 * self.edge + self.width:
+            frac = (phase - self.edge - self.width) / self.edge
+            return self.v_high + (self.v_low - self.v_high) * frac
+        return self.v_low
+
+
+class PiecewiseLinear(Waveform):
+    """A piecewise-linear waveform through (time, voltage) breakpoints."""
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        if len(times) == 0:
+            raise ValueError("need at least one breakpoint")
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("breakpoint times must be strictly increasing")
+        self._times = list(times)
+        self._values = list(values)
+
+    def value(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        hi = bisect.bisect_right(times, t)
+        lo = hi - 1
+        frac = (t - times[lo]) / (times[hi] - times[lo])
+        return values[lo] + frac * (values[hi] - values[lo])

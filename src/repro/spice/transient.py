@@ -1,0 +1,326 @@
+"""Transient and DC solvers for :class:`repro.spice.network.Circuit`.
+
+The transient engine uses Backward Euler with a full Newton iteration per
+time step. Device currents and analytic conductances are evaluated
+vectorized over all transistors, so circuits with a few hundred devices
+(the flip-flop and Monte Carlo path testbenches) simulate in well under a
+second per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.network import GROUND, Circuit
+
+_MAX_NEWTON_ITERS = 80
+_NEWTON_TOL_V = 1e-7
+_MAX_STEP_V = 0.5
+
+
+class _CompiledCircuit:
+    """Circuit flattened into numpy arrays for fast repeated evaluation."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.node_names = circuit.nodes
+        self.index = {name: i for i, name in enumerate(self.node_names)}
+        self.n = len(self.node_names)
+
+        self.fixed_idx = np.array(
+            [self.index[GROUND]] + [self.index[s] for s in circuit.sources],
+            dtype=np.intp,
+        )
+        self.unknown_idx = np.array(
+            [self.index[u] for u in circuit.unknown_nodes()], dtype=np.intp
+        )
+        self.source_nodes = list(circuit.sources)
+        self.source_waveforms = [circuit.sources[s] for s in self.source_nodes]
+        self.source_idx = np.array(
+            [self.index[s] for s in self.source_nodes], dtype=np.intp
+        )
+
+        # Capacitance matrix (full) with the minimum node cap on unknowns.
+        c_mat = np.zeros((self.n, self.n))
+        for cap in circuit.capacitors:
+            a, b = self.index[cap.node_a], self.index[cap.node_b]
+            if a == b:
+                continue
+            c_mat[a, a] += cap.ff
+            c_mat[b, b] += cap.ff
+            c_mat[a, b] -= cap.ff
+            c_mat[b, a] -= cap.ff
+        for u in self.unknown_idx:
+            c_mat[u, u] += Circuit.MIN_NODE_CAP
+        self.c_mat = c_mat
+
+        # Conductance Laplacian: current INTO nodes = -g_lap @ v.
+        g_lap = np.zeros((self.n, self.n))
+        for res in circuit.resistors:
+            a, b = self.index[res.node_a], self.index[res.node_b]
+            g = 1.0 / res.kohm
+            g_lap[a, a] += g
+            g_lap[b, b] += g
+            g_lap[a, b] -= g
+            g_lap[b, a] -= g
+        self.g_lap = g_lap
+
+        # Device arrays.
+        fets = circuit.transistors
+        self.m = len(fets)
+        temp = circuit.temp_c
+        if self.m:
+            self.f_d = np.array([self.index[t.drain] for t in fets], dtype=np.intp)
+            self.f_g = np.array([self.index[t.gate] for t in fets], dtype=np.intp)
+            self.f_s = np.array([self.index[t.source] for t in fets], dtype=np.intp)
+            self.f_pol = np.array([t.params.polarity for t in fets], dtype=float)
+            self.f_vt = np.array(
+                [t.params.vt_at(temp, t.vt_shift) for t in fets]
+            )
+            self.f_k = np.array(
+                [t.params.k_at(temp, t.k_scale) * t.width for t in fets]
+            )
+            self.f_alpha = np.array([t.params.alpha for t in fets])
+            self.f_kv = np.array([t.params.kv for t in fets])
+            self.f_lam = np.array([t.params.lam for t in fets])
+            self.f_nphit = np.array(
+                [t.params.subthreshold_n * t.params.phi_t_at(temp) for t in fets]
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def source_values(self, t: float) -> np.ndarray:
+        """Voltage of each source node at time ``t``."""
+        return np.array([w.value(t) for w in self.source_waveforms])
+
+    def device_currents(self, v: np.ndarray):
+        """Vectorized device evaluation at node-voltage vector ``v``.
+
+        Returns ``(i_into, rows, cols, vals)`` where ``i_into`` is the
+        current injected into each node by all transistors and the triplets
+        are Jacobian contributions ``d(i_into[row])/d(v[col])``.
+        """
+        if not self.m:
+            empty = np.zeros(0, dtype=np.intp)
+            return np.zeros(self.n), empty, empty, np.zeros(0)
+
+        pol = self.f_pol
+        a = pol * v[self.f_d]
+        b = pol * v[self.f_s]
+        swapped = a < b
+        dd = np.where(swapped, b, a)
+        ss = np.where(swapped, a, b)
+        vgs = pol * v[self.f_g] - ss
+        vds = dd - ss
+
+        i, gm, gds = _alpha_power_vec(
+            vgs, vds, self.f_vt, self.f_k, self.f_alpha, self.f_kv,
+            self.f_lam, self.f_nphit,
+        )
+
+        # Node index playing the drain role / source role in the
+        # normalized (always-NMOS, vds >= 0) frame.
+        dd_node = np.where(swapped, self.f_s, self.f_d)
+        ss_node = np.where(swapped, self.f_d, self.f_s)
+
+        i_into = np.zeros(self.n)
+        np.add.at(i_into, dd_node, -pol * i)
+        np.add.at(i_into, ss_node, pol * i)
+
+        # Jacobian triplets; polarity cancels in the chain rule.
+        g_node = self.f_g
+        rows = np.concatenate([dd_node, dd_node, dd_node, ss_node, ss_node, ss_node])
+        cols = np.concatenate([g_node, dd_node, ss_node, g_node, dd_node, ss_node])
+        vals = np.concatenate([-gm, -gds, gm + gds, gm, gds, -(gm + gds)])
+        return i_into, rows, cols, vals
+
+    def device_jacobian(self, rows, cols, vals) -> np.ndarray:
+        """Dense Jacobian d(i_into)/dv from triplets."""
+        jac = np.zeros((self.n, self.n))
+        np.add.at(jac, (rows, cols), vals)
+        return jac
+
+
+def _alpha_power_vec(vgs, vds, vt, k, alpha, kv, lam, n_phi_t):
+    """Vectorized smoothed alpha-power model (normalized NMOS frame)."""
+    x = (vgs - vt) / n_phi_t
+    xc = np.clip(x, -35.0, 35.0)
+    v_ov = n_phi_t * np.where(x > 35.0, x, np.log1p(np.exp(xc)))
+    dvov = np.where(x > 35.0, 1.0, 1.0 / (1.0 + np.exp(-xc)))
+
+    pow_a = v_ov**alpha
+    clm = 1.0 + lam * vds
+    idsat = k * pow_a * clm
+    didsat_dvgs = k * alpha * v_ov ** (alpha - 1.0) * clm * dvov
+    didsat_dvds = k * pow_a * lam
+
+    vdsat = kv * v_ov ** (alpha / 2.0)
+    sat = vds >= vdsat
+    u = np.where(sat, 1.0, vds / vdsat)
+    shape = u * (2.0 - u)
+    dshape_du = 2.0 - 2.0 * u
+    dvdsat_dvgs = kv * (alpha / 2.0) * v_ov ** (alpha / 2.0 - 1.0) * dvov
+    du_dvgs = np.where(sat, 0.0, -vds * dvdsat_dvgs / (vdsat * vdsat))
+    du_dvds = np.where(sat, 0.0, 1.0 / vdsat)
+
+    i = idsat * shape
+    gm = didsat_dvgs * shape + idsat * dshape_du * du_dvgs
+    gds = didsat_dvds * shape + idsat * dshape_du * du_dvds
+    return i, gm, gds
+
+
+@dataclass
+class TransientResult:
+    """Simulated waveforms: a shared time axis plus per-node voltages."""
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def wave(self, node: str) -> np.ndarray:
+        """Voltage samples for ``node``."""
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise SimulationError(f"no such node in result: {node!r}") from None
+
+    def final(self, node: str) -> float:
+        """Final voltage of ``node``."""
+        return float(self.wave(node)[-1])
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    t: float = 0.0,
+    initial: Optional[Dict[str, float]] = None,
+    strict: bool = True,
+) -> Dict[str, float]:
+    """Solve the DC operating point with source values frozen at time ``t``.
+
+    Uses gmin-stepping (a shunt conductance to ground swept from large to
+    negligible) so that CMOS stacks converge from a cold start. Multi-stable
+    circuits (latches) converge to *a* solution; testbenches that care about
+    state should establish it with an input sequence instead.
+
+    With ``strict=False``, non-convergence (typically a floating node
+    inside a fully-off series stack) returns the best iterate instead of
+    raising — adequate as a transient starting point.
+    """
+    comp = _CompiledCircuit(circuit)
+    v = np.zeros(comp.n)
+    v[comp.source_idx] = comp.source_values(t)
+    if initial:
+        for node, val in initial.items():
+            v[comp.index[node]] = val
+
+    uu = comp.unknown_idx
+    if uu.size == 0:
+        return {name: float(v[comp.index[name]]) for name in comp.node_names}
+
+    for gshunt in (1e-1, 1e-3, 1e-6, 1e-9, 1e-12):
+        for _ in range(_MAX_NEWTON_ITERS):
+            i_dev, rows, cols, vals = comp.device_currents(v)
+            i_in = i_dev - comp.g_lap @ v
+            residual = -i_in[uu] + gshunt * v[uu]
+            jac_full = comp.g_lap - comp.device_jacobian(rows, cols, vals)
+            jac = jac_full[np.ix_(uu, uu)] + gshunt * np.eye(uu.size)
+            try:
+                delta = np.linalg.solve(jac, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(f"singular DC Jacobian: {exc}") from exc
+            delta = np.clip(delta, -_MAX_STEP_V, _MAX_STEP_V)
+            v[uu] += delta
+            if np.max(np.abs(delta)) < _NEWTON_TOL_V:
+                break
+        else:
+            if strict:
+                raise SimulationError(
+                    f"DC operating point did not converge (gshunt={gshunt})"
+                )
+            # Non-strict mode (used by the transient solver for its
+            # starting point): a floating all-off stack node can defeat
+            # Newton, but any bounded state is a fine transient start —
+            # the settle window resolves it physically.
+            break
+    return {name: float(v[comp.index[name]]) for name in comp.node_names}
+
+
+def simulate(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float = 1.0,
+    t_start: float = 0.0,
+    initial: Optional[Dict[str, float]] = None,
+    record: Optional[List[str]] = None,
+) -> TransientResult:
+    """Backward-Euler transient simulation.
+
+    Args:
+        circuit: the circuit to simulate.
+        t_stop: end time, ps.
+        dt: fixed time step, ps.
+        t_start: start time (may be negative to allow settling).
+        initial: initial node voltages; unspecified unknowns start from the
+            DC operating point at ``t_start``.
+        record: node names to record (default: all nodes).
+
+    Returns:
+        A :class:`TransientResult` with one sample per accepted step.
+    """
+    if t_stop <= t_start:
+        raise SimulationError("t_stop must exceed t_start")
+    if dt <= 0:
+        raise SimulationError("dt must be positive")
+
+    comp = _CompiledCircuit(circuit)
+    op = dc_operating_point(circuit, t=t_start, initial=initial, strict=False)
+    v = np.array([op[name] for name in comp.node_names])
+
+    n_steps = int(np.ceil((t_stop - t_start) / dt))
+    times = t_start + dt * np.arange(n_steps + 1)
+    times[-1] = min(times[-1], t_stop)
+
+    record_names = record if record is not None else comp.node_names
+    record_idx = [comp.index[name] for name in record_names]
+    out = np.empty((n_steps + 1, len(record_idx)))
+    out[0] = v[record_idx]
+
+    uu = comp.unknown_idx
+    c_uu_base = comp.c_mat[np.ix_(uu, uu)] if uu.size else None
+
+    for step in range(1, n_steps + 1):
+        t_new = times[step]
+        h = t_new - times[step - 1]
+        v_old = v.copy()
+        v[comp.source_idx] = comp.source_values(t_new)
+        if uu.size:
+            _newton_step(comp, v, v_old, h, uu, c_uu_base)
+        out[step] = v[record_idx]
+
+    return TransientResult(
+        times=times, voltages={n: out[:, j] for j, n in enumerate(record_names)}
+    )
+
+
+def _newton_step(comp, v, v_old, h, uu, c_uu_base) -> None:
+    """Advance unknown voltages by one Backward-Euler step, in place."""
+    for iteration in range(_MAX_NEWTON_ITERS):
+        i_dev, rows, cols, vals = comp.device_currents(v)
+        i_in = i_dev - comp.g_lap @ v
+        residual = (comp.c_mat @ (v - v_old))[uu] / h - i_in[uu]
+        jac_full = comp.g_lap - comp.device_jacobian(rows, cols, vals)
+        jac = c_uu_base / h + jac_full[np.ix_(uu, uu)]
+        try:
+            delta = np.linalg.solve(jac, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"singular transient Jacobian: {exc}") from exc
+        delta = np.clip(delta, -_MAX_STEP_V, _MAX_STEP_V)
+        v[uu] += delta
+        if np.max(np.abs(delta)) < _NEWTON_TOL_V:
+            return
+    raise SimulationError(
+        f"transient Newton did not converge within {_MAX_NEWTON_ITERS} iterations"
+    )

@@ -1,0 +1,38 @@
+"""Static timing analysis.
+
+A full STA stack over the netlist + library + parasitics substrates:
+
+- :mod:`repro.sta.graph` — pin-level timing graph with levelization;
+- :mod:`repro.sta.constraints` — clocks, I/O delays, uncertainties and
+  signoff margins (SDC-lite);
+- :mod:`repro.sta.propagation` — early/late arrival and slew propagation
+  (graph-based analysis, GBA) with flat-OCV and AOCV derating;
+- :mod:`repro.sta.analysis` — the :class:`~repro.sta.analysis.STA`
+  orchestrator: setup/hold/max-transition checks and reports;
+- :mod:`repro.sta.pba` — path enumeration and path-based analysis (PBA)
+  with path-specific slew recomputation and CPPR credit;
+- :mod:`repro.sta.si` — coupling-noise delta delays;
+- :mod:`repro.sta.mcmm` — multi-corner multi-mode scenario management;
+- :mod:`repro.sta.reports` — timing reports and histograms.
+"""
+
+from repro.sta.analysis import STA
+from repro.sta.constraints import ClockSpec, Constraints
+from repro.sta.propagation import Derates
+from repro.sta.reports import TimingReport
+from repro.sta.etm import ExtractedTimingModel, extract_etm
+from repro.sta.incremental import IncrementalTimer
+from repro.sta.required import instance_slacks, required_times
+
+__all__ = [
+    "STA",
+    "ClockSpec",
+    "Constraints",
+    "Derates",
+    "TimingReport",
+    "ExtractedTimingModel",
+    "extract_etm",
+    "IncrementalTimer",
+    "instance_slacks",
+    "required_times",
+]

@@ -1,0 +1,103 @@
+"""Timing constraints: an SDC-lite.
+
+One or more clocks, input/output delays relative to a clock, default input
+slews, a global max-transition override, clock uncertainties, and the
+flat signoff margins whose selection the paper calls "intended to model
+what cannot be modeled" (jitter, IR drop, model error — see
+:mod:`repro.core.margins` for the decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """A clock definition.
+
+    Attributes:
+        name: clock name.
+        period: clock period, ps.
+        port: the design port (or pin) where the clock enters.
+        uncertainty_setup: cycle-to-cycle + jitter margin for setup, ps.
+        uncertainty_hold: skew/jitter margin for hold, ps.
+        source_latency: modeled latency before the clock root, ps.
+        slew: clock edge slew at the root, ps.
+    """
+
+    name: str
+    period: float
+    port: str = "clk"
+    uncertainty_setup: float = 10.0
+    uncertainty_hold: float = 5.0
+    source_latency: float = 0.0
+    slew: float = 12.0
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ConstraintError(f"clock {self.name}: period must be positive")
+
+
+@dataclass
+class Constraints:
+    """A constraint set (one analysis mode)."""
+
+    clocks: Dict[str, ClockSpec] = field(default_factory=dict)
+    input_delays: Dict[str, float] = field(default_factory=dict)  # port -> ps
+    output_delays: Dict[str, float] = field(default_factory=dict)
+    default_input_slew: float = 25.0
+    max_transition: Optional[float] = None  # None = library default
+    flat_setup_margin: float = 0.0  # extra signoff margin, ps
+    flat_hold_margin: float = 0.0
+    #: Per-flop useful-skew adjustment, ps: instance name -> extra clock
+    #: latency at that flop (applied to both launch and capture roles).
+    clock_latency: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def single_clock(
+        cls,
+        period: float,
+        port: str = "clk",
+        name: str = "clk",
+        **kwargs,
+    ) -> "Constraints":
+        """The common case: one clock, default everything else."""
+        spec = ClockSpec(name=name, period=period, port=port, **kwargs)
+        return cls(clocks={name: spec})
+
+    def the_clock(self) -> ClockSpec:
+        """The sole clock of a single-clock constraint set."""
+        if len(self.clocks) != 1:
+            raise ConstraintError(
+                f"expected exactly one clock, have {sorted(self.clocks)}"
+            )
+        return next(iter(self.clocks.values()))
+
+    def clock_for_port(self, port: str) -> Optional[ClockSpec]:
+        for spec in self.clocks.values():
+            if spec.port == port:
+                return spec
+        return None
+
+    def with_period(self, period: float) -> "Constraints":
+        """A copy with every clock's period replaced (frequency sweep)."""
+        from dataclasses import replace
+
+        out = Constraints(
+            clocks={
+                name: replace(spec, period=period)
+                for name, spec in self.clocks.items()
+            },
+            input_delays=dict(self.input_delays),
+            output_delays=dict(self.output_delays),
+            default_input_slew=self.default_input_slew,
+            max_transition=self.max_transition,
+            flat_setup_margin=self.flat_setup_margin,
+            flat_hold_margin=self.flat_hold_margin,
+            clock_latency=dict(self.clock_latency),
+        )
+        return out

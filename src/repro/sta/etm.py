@@ -1,0 +1,162 @@
+"""Extracted timing models (ETM) for hierarchical analysis.
+
+Section 4, comment 3: "flat vs ETM-based/hierarchical analysis and
+optimization" is one of the schedule/QOR levers of SOC design closure.
+An ETM abstracts a closed block to its boundary:
+
+- per data-input port: the *arrival budget* (latest top-level arrival
+  that still meets every internal setup check) and a hold budget;
+- per output port: the worst clock-to-output delay and slew;
+- per input port: the capacitance the top level must drive.
+
+Budgets are read directly off the backward required-time pass
+(:mod:`repro.sta.required`), so an ETM check is exact for paths through
+the boundary — which the tests verify against flat analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TimingError
+from repro.netlist.design import PinRef
+from repro.sta.analysis import STA
+from repro.sta.propagation import DIRECTIONS
+from repro.sta.required import pin_slack, required_times
+
+
+@dataclass
+class EtmPort:
+    """Boundary timing data for one port."""
+
+    name: str
+    setup_budget: Optional[float] = None  # latest OK arrival, ps
+    hold_budget: Optional[float] = None  # earliest OK arrival, ps
+    clock_to_out: Optional[float] = None  # worst output delay, ps
+    out_slew: Optional[float] = None
+    input_cap: Optional[float] = None
+
+
+@dataclass
+class ExtractedTimingModel:
+    """A block abstracted to its boundary."""
+
+    block_name: str
+    clock_port: str
+    period: float
+    ports: Dict[str, EtmPort] = field(default_factory=dict)
+    internal_wns: float = math.inf  # WNS of purely-internal paths
+
+    def input_ports(self) -> List[str]:
+        return [p for p, d in self.ports.items() if d.setup_budget is not None]
+
+    def output_ports(self) -> List[str]:
+        return [p for p, d in self.ports.items() if d.clock_to_out is not None]
+
+    def setup_slack_for_arrival(self, port: str, arrival: float) -> float:
+        """Top-level setup slack for data arriving at ``arrival`` ps after
+        the clock edge at this input port."""
+        data = self.ports.get(port)
+        if data is None or data.setup_budget is None:
+            raise TimingError(f"ETM has no setup budget for port {port!r}")
+        return data.setup_budget - arrival
+
+    def hold_slack_for_arrival(self, port: str, arrival: float) -> float:
+        data = self.ports.get(port)
+        if data is None or data.hold_budget is None:
+            raise TimingError(f"ETM has no hold budget for port {port!r}")
+        return arrival - data.hold_budget
+
+    def check(self, arrivals: Dict[str, float]) -> float:
+        """Merged WNS for a set of top-level input arrivals: the min of
+        the internal WNS and every boundary setup slack."""
+        wns = self.internal_wns
+        for port, arrival in arrivals.items():
+            wns = min(wns, self.setup_slack_for_arrival(port, arrival))
+        return wns
+
+
+def extract_etm(sta: STA) -> ExtractedTimingModel:
+    """Extract the block's ETM from a completed STA run.
+
+    The run must use zero input delays so budgets are absolute (the
+    extractor asserts this).
+    """
+    if sta.prop is None:
+        raise TimingError("run() must be called before ETM extraction")
+    constraints = sta.constraints
+    if any(v != 0.0 for v in constraints.input_delays.values()):
+        raise TimingError("extract the ETM with zero input delays")
+    clock = constraints.the_clock()
+
+    etm = ExtractedTimingModel(
+        block_name=sta.design.name,
+        clock_port=clock.port,
+        period=clock.period,
+    )
+
+    req_late = required_times(sta, "late")
+    req_early = required_times(sta, "early")
+
+    clock_ports = {c.port for c in constraints.clocks.values()}
+    for port in sta.design.input_ports():
+        if port in clock_ports:
+            continue
+        ref = PinRef("", port)
+        setup_budget = pin_slack(sta, req_late, ref, "late")
+        hold_slack = pin_slack(sta, req_early, ref, "early")
+        entry = etm.ports.setdefault(port, EtmPort(name=port))
+        if not math.isinf(setup_budget):
+            # Arrival was 0, so the slack IS the remaining budget.
+            entry.setup_budget = setup_budget
+        if not math.isinf(hold_slack):
+            entry.hold_budget = -hold_slack  # earliest allowed arrival
+        entry.input_cap = sta.parasitics.extract(port).driver_load(
+            sta.parasitics.pin_caps_total(port)
+        )
+
+    report = sta.report if hasattr(sta, "report") and sta.report else None
+    if report is None:
+        report = sta.run()
+    for endpoint in report.endpoints("setup"):
+        if endpoint.kind == "output":
+            port = endpoint.endpoint.pin
+            entry = etm.ports.setdefault(port, EtmPort(name=port))
+            entry.clock_to_out = endpoint.arrival
+            direction = endpoint.data_direction
+            arr = sta.prop.at(endpoint.endpoint, direction)
+            entry.out_slew = arr.slew_late
+
+    # Internal WNS: flop-to-flop paths that never cross the boundary.
+    # Conservative: endpoints whose worst path starts at a clock root.
+    internal = math.inf
+    for endpoint in report.endpoints("setup"):
+        if endpoint.kind != "setup":
+            continue
+        path = sta.worst_path(endpoint)
+        if path.startpoint.is_port and path.startpoint.pin in clock_ports:
+            internal = min(internal, endpoint.slack)
+    etm.internal_wns = internal
+    return etm
+
+
+def render_etm(etm: ExtractedTimingModel) -> str:
+    """Human-readable ETM summary."""
+    lines = [
+        f"ETM for block {etm.block_name!r} "
+        f"(clock {etm.clock_port}, period {etm.period} ps)",
+        f"internal WNS: {etm.internal_wns:.2f} ps",
+        f"{'port':<12} {'setup budget':>13} {'hold budget':>12} "
+        f"{'clk->out':>9} {'cap (fF)':>9}",
+    ]
+    for name in sorted(etm.ports):
+        p = etm.ports[name]
+        fmt = lambda v: f"{v:9.2f}" if v is not None else "        -"
+        lines.append(
+            f"{name:<12} {fmt(p.setup_budget):>13} "
+            f"{fmt(p.hold_budget):>12} {fmt(p.clock_to_out):>9} "
+            f"{fmt(p.input_cap):>9}"
+        )
+    return "\n".join(lines)

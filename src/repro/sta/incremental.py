@@ -1,0 +1,175 @@
+"""Incremental timing updates for ECO loops.
+
+The paper's Comment 1 celebrates physically-aware ECO tooling; the timer
+side of that story is *incrementality* — after a cell swap or resize,
+only the affected cone needs re-timing, not the whole design. This module
+provides that for topology-preserving edits (Vt-swap, resize): it
+invalidates the downstream cone of the edited cells (including the
+drivers of their input nets, whose loads changed) and re-propagates just
+those pins, reusing stored arrivals everywhere else.
+
+Topology-changing edits (buffer insertion) fall back to a full rebuild —
+the honest boundary real incremental timers also draw, just further out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set
+
+from repro.errors import TimingError
+from repro.netlist.design import PinRef
+from repro.liberty.cell import PinDirection
+from repro.sta.analysis import STA
+from repro.sta.graph import CellEdge, NetEdge
+from repro.sta.propagation import (
+    DIRECTIONS,
+    _propagate_cell_edge,
+    _propagate_net_edge,
+)
+from repro.sta.reports import TimingReport
+
+
+class IncrementalTimer:
+    """Wraps a run STA and applies cone-limited updates after cell edits."""
+
+    def __init__(self, sta: STA):
+        if sta.prop is None:
+            raise TimingError("run the STA once before incremental updates")
+        self.sta = sta
+        self.full_updates = 0
+        self.incremental_updates = 0
+        self.last_cone_size = 0
+
+    # ------------------------------------------------------------------ #
+
+    def update_cells(self, instance_names: Iterable[str]) -> TimingReport:
+        """Re-time after swaps/resizes of the named instances.
+
+        The edited instances must still exist with the same pins (same
+        footprint). Returns a fresh report; ``sta.prop`` is updated in
+        place so path reconstruction stays valid.
+        """
+        sta = self.sta
+        names = list(instance_names)
+        for name in names:
+            self._refresh_instance_edges(name)
+        seeds: Set[PinRef] = set()
+        for name in names:
+            inst = sta.design.instance(name)
+            cell = sta.library.cell(inst.cell_name)
+            for pin in cell.pins.values():
+                ref = PinRef(name, pin.name)
+                if pin.direction is PinDirection.OUTPUT:
+                    seeds.add(ref)
+                else:
+                    # Input cap changed: the driving net's delay and its
+                    # driver's load change too.
+                    net_name = inst.net_of(pin.name)
+                    sta.parasitics.invalidate(net_name)
+                    net = sta.design.get_net(net_name)
+                    if net.driver is not None and not net.driver.is_port:
+                        seeds.add(net.driver)
+                    seeds.add(ref)
+
+        affected = self._downstream_cone(seeds)
+        self.last_cone_size = len(affected)
+        self.incremental_updates += 1
+
+        # Invalidate and recompute in topological order.
+        for ref in affected:
+            for direction in DIRECTIONS:
+                sta.prop.arrivals.pop((ref, direction), None)
+        for ref in sta.graph.topo_order:
+            if ref not in affected:
+                continue
+            for edge in sta.graph.in_edges.get(ref, []):
+                if isinstance(edge, NetEdge):
+                    _propagate_net_edge(sta.graph, sta.parasitics, sta.prop,
+                                        edge, {})
+                else:
+                    _propagate_cell_edge(sta.graph, sta.parasitics, sta.prop,
+                                         edge, sta.derates)
+        return self._rebuild_report()
+
+    def full_update(self) -> TimingReport:
+        """Fall back to a complete re-run (topology changed)."""
+        self.full_updates += 1
+        report = self.sta.run()
+        self.sta.report = report
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _refresh_instance_edges(self, name: str) -> None:
+        """Point an edited instance's graph edges at its *new* cell's arcs.
+
+        A swap changes ``instance.cell_name`` but the graph's CellEdge
+        objects still hold the old cell's tables; this rebinds them (and
+        the instance's setup/hold checks) by (related_pin, pin, type).
+        """
+        sta = self.sta
+        inst = sta.design.instance(name)
+        cell = sta.library.cell(inst.cell_name)
+        arc_map = {
+            (arc.related_pin, arc.pin, arc.timing_type): arc
+            for arc in cell.arcs
+        }
+
+        def rebind(edge: CellEdge) -> CellEdge:
+            key = (edge.arc.related_pin, edge.arc.pin, edge.arc.timing_type)
+            new_arc = arc_map.get(key)
+            if new_arc is None:
+                raise TimingError(
+                    f"swap on {name} changed the arc set "
+                    f"({key} missing in {cell.name}); full rebuild needed"
+                )
+            return CellEdge(instance=name, arc=new_arc)
+
+        replaced = {}
+        for adjacency in (sta.graph.in_edges, sta.graph.out_edges):
+            for edges in adjacency.values():
+                for i, edge in enumerate(edges):
+                    if isinstance(edge, CellEdge) and edge.instance == name:
+                        if id(edge) not in replaced:
+                            replaced[id(edge)] = rebind(edge)
+                        edges[i] = replaced[id(edge)]
+        for i, check in enumerate(sta.graph.checks):
+            if check.instance == name:
+                key = (check.arc.related_pin, check.arc.pin,
+                       check.arc.timing_type)
+                new_arc = arc_map.get(key)
+                if new_arc is None:
+                    raise TimingError(
+                        f"swap on {name} changed the constraint arcs; "
+                        "full rebuild needed"
+                    )
+                sta.graph.checks[i] = type(check)(
+                    instance=name,
+                    data_pin=check.data_pin,
+                    clock_pin=check.clock_pin,
+                    arc=new_arc,
+                )
+
+    def _downstream_cone(self, seeds: Set[PinRef]) -> Set[PinRef]:
+        affected: Set[PinRef] = set(seeds)
+        queue = deque(seeds)
+        while queue:
+            ref = queue.popleft()
+            for edge in self.sta.graph.out_edges.get(ref, []):
+                dst = edge.sink if isinstance(edge, NetEdge) else edge.dst
+                if dst not in affected:
+                    affected.add(dst)
+                    queue.append(dst)
+        return affected
+
+    def _rebuild_report(self) -> TimingReport:
+        sta = self.sta
+        report = TimingReport(
+            setup=sta._setup_endpoints() + sta._output_endpoints(),
+            hold=sta._hold_endpoints(),
+            slew_violations=sta._slew_violations(),
+            scenario=sta.library.name,
+        )
+        sta.report = report
+        return report

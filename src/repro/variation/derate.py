@@ -1,0 +1,50 @@
+"""Builders for flat-OCV and AOCV derate configurations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import LibraryError
+from repro.liberty.aocv import AocvTable, library_reference_sigma
+from repro.liberty.cell import Cell
+from repro.liberty.library import Library
+from repro.sta.propagation import Derates
+
+
+def flat_ocv_derates(percent: float, clock_percent: Optional[float] = None
+                     ) -> Derates:
+    """Symmetric flat OCV: data/clock late = 1+p, early = 1-p.
+
+    ``percent`` is the fractional derate (0.08 = 8%). The pre-AOCV
+    methodology: one number for every path regardless of depth.
+    """
+    if not 0.0 <= percent < 1.0:
+        raise LibraryError(f"derate fraction must be in [0, 1), got {percent}")
+    cp = percent if clock_percent is None else clock_percent
+    return Derates(
+        data_late=1.0 + percent,
+        data_early=1.0 - percent,
+        clock_late=1.0 + cp,
+        clock_early=1.0 - cp,
+    )
+
+
+def aocv_derates(
+    library: Library,
+    reference_cells: Optional[Sequence[Cell]] = None,
+    n_sigma: float = 3.0,
+    distance: float = 0.0,
+) -> Derates:
+    """AOCV derates built from the library's own sigma information.
+
+    The reference sigma is the mean POCV sigma over ``reference_cells``
+    (default: all X1 SVT cells) — AOCV's defining approximation.
+    """
+    if reference_cells is None:
+        reference_cells = [
+            c for c in library.cells.values()
+            if c.size == 1.0 and c.vt_flavor == "svt"
+        ]
+    sigma = library_reference_sigma(list(reference_cells))
+    table = AocvTable.from_reference_sigma(sigma, n_sigma=n_sigma)
+    return Derates(aocv=table, aocv_distance=distance)

@@ -1,0 +1,267 @@
+"""Statistical static timing analysis (SSTA) — the "perpetual future".
+
+Section 3.1: "the industry has also for over a decade flirted with full
+statistical STA... it seems to remain perpetually in the future." This
+module implements the classic block-based SSTA so the flirtation can be
+evaluated concretely: arrival times are Gaussians (mean, sigma) with a
+shared global component, propagated through sum (exact) and max (Clark's
+moment-matching approximation), with per-arc sigmas taken from the same
+LVF tables the deterministic engine uses.
+
+The two knobs the paper says block adoption — complexity and foundry
+statistics — show up here as, respectively, the Clark-max machinery and
+the need for trustworthy ``sigma`` inputs; the payoff shows up as yield-
+aware slack: ``slack_at_sigma(n)`` reads the slack distribution at a
+chosen confidence instead of at a corner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TimingError
+from repro.netlist.design import PinRef
+from repro.sta.analysis import STA
+from repro.sta.graph import CellEdge, NetEdge
+from repro.sta.propagation import DIRECTIONS, driver_load
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def _phi(x: float) -> float:
+    """Standard normal pdf."""
+    return math.exp(-0.5 * x * x) / _SQRT_2PI
+
+
+def _cap_phi(x: float) -> float:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class GaussianArrival:
+    """A statistical arrival: mean, independent sigma, global sigma.
+
+    The *global* component is fully correlated across the whole die
+    (die-to-die variation); the *local* component accumulates in RSS.
+    """
+
+    mean: float
+    sigma_local: float = 0.0
+    sigma_global: float = 0.0
+
+    @property
+    def sigma(self) -> float:
+        return math.hypot(self.sigma_local, self.sigma_global)
+
+    def shifted(self, delay_mean: float, delay_sigma_local: float,
+                delay_sigma_global: float = 0.0) -> "GaussianArrival":
+        """Sum of this arrival and an independent-local-sigma delay."""
+        return GaussianArrival(
+            mean=self.mean + delay_mean,
+            sigma_local=math.hypot(self.sigma_local, delay_sigma_local),
+            sigma_global=self.sigma_global + delay_sigma_global,
+        )
+
+    def quantile(self, n_sigma: float) -> float:
+        """mean + n_sigma * sigma (the corner-like read-out)."""
+        return self.mean + n_sigma * self.sigma
+
+
+def clark_max(a: GaussianArrival, b: GaussianArrival,
+              correlation: float = 0.0) -> GaussianArrival:
+    """Clark's moment-matched Gaussian approximation of max(a, b).
+
+    The local components are treated as independent up to
+    ``correlation``; global components are fully correlated and handled
+    by maxing means at matched global excursions (a standard
+    simplification: the global part adds after the local max).
+    """
+    # Max over the local-plus-mean parts.
+    sa = max(a.sigma_local, 1e-12)
+    sb = max(b.sigma_local, 1e-12)
+    theta = math.sqrt(max(sa * sa + sb * sb - 2.0 * correlation * sa * sb,
+                          1e-24))
+    x = (a.mean - b.mean) / theta
+    p = _cap_phi(x)
+    q = _phi(x)
+    mean = a.mean * p + b.mean * (1.0 - p) + theta * q
+    second = (
+        (a.mean**2 + sa * sa) * p
+        + (b.mean**2 + sb * sb) * (1.0 - p)
+        + (a.mean + b.mean) * theta * q
+    )
+    var = max(second - mean * mean, 0.0)
+    return GaussianArrival(
+        mean=mean,
+        sigma_local=math.sqrt(var),
+        sigma_global=max(a.sigma_global, b.sigma_global),
+    )
+
+
+class SstaResult:
+    """Statistical arrivals per (pin, direction) plus endpoint slacks."""
+
+    def __init__(self):
+        self.arrivals: Dict[Tuple[PinRef, str], GaussianArrival] = {}
+        self.endpoint_slacks: Dict[PinRef, GaussianArrival] = {}
+
+    def arrival(self, ref: PinRef, direction: str) -> GaussianArrival:
+        try:
+            return self.arrivals[(ref, direction)]
+        except KeyError:
+            raise TimingError(f"no statistical arrival at {ref} {direction}")
+
+    def worst_arrival(self, ref: PinRef) -> GaussianArrival:
+        candidates = [
+            self.arrivals[(ref, d)] for d in DIRECTIONS
+            if (ref, d) in self.arrivals
+        ]
+        if not candidates:
+            raise TimingError(f"no statistical arrival at {ref}")
+        if len(candidates) == 1:
+            return candidates[0]
+        return clark_max(candidates[0], candidates[1])
+
+    def slack_at_sigma(self, endpoint: PinRef, n_sigma: float = 3.0) -> float:
+        """Yield-aware slack: the paper's 'slacks now reported at a
+        confidence tail of the slack distribution'."""
+        dist = self.endpoint_slacks[endpoint]
+        return dist.mean - n_sigma * dist.sigma
+
+    def wns_at_sigma(self, n_sigma: float = 3.0) -> float:
+        return min(
+            self.slack_at_sigma(ep, n_sigma) for ep in self.endpoint_slacks
+        )
+
+
+def run_ssta(sta: STA, global_sigma_frac: float = 0.3,
+             wire_annotator=None) -> SstaResult:
+    """Block-based SSTA over an already-constructed STA's graph.
+
+    Per-arc delay sigmas come from the library's LVF tables; a
+    ``global_sigma_frac`` fraction of each sigma is treated as the
+    fully-correlated die-to-die component. Passing a
+    :class:`repro.parasitics.statistical.StatisticalAnnotator` as
+    ``wire_annotator`` adds statistical interconnect (SSPEF-style wire
+    delay sigmas) on top.
+
+    The deterministic STA must have been run first (``sta.run()``) so
+    slews and loads are available.
+    """
+    if sta.prop is None:
+        raise TimingError("run the deterministic STA before SSTA")
+    result = SstaResult()
+    constraints = sta.constraints
+
+    clock_ports = {c.port for c in constraints.clocks.values()}
+    for clock in constraints.clocks.values():
+        root = PinRef("", clock.port)
+        for direction in DIRECTIONS:
+            result.arrivals[(root, direction)] = GaussianArrival(
+                clock.source_latency
+            )
+    for port in sta.design.input_ports():
+        if port in clock_ports:
+            continue
+        ref = PinRef("", port)
+        mean = constraints.input_delays.get(port, 0.0)
+        for direction in DIRECTIONS:
+            result.arrivals[(ref, direction)] = GaussianArrival(mean)
+
+    for ref in sta.graph.topo_order:
+        for edge in sta.graph.in_edges.get(ref, []):
+            if isinstance(edge, NetEdge):
+                _ssta_net_edge(sta, result, edge, wire_annotator)
+            else:
+                _ssta_cell_edge(sta, result, edge, global_sigma_frac)
+
+    _ssta_endpoints(sta, result)
+    return result
+
+
+def _merge(result: SstaResult, key, candidate: GaussianArrival) -> None:
+    existing = result.arrivals.get(key)
+    if existing is None:
+        result.arrivals[key] = candidate
+    else:
+        result.arrivals[key] = clark_max(existing, candidate)
+
+
+def _ssta_net_edge(sta: STA, result: SstaResult, edge: NetEdge,
+                   wire_annotator=None) -> None:
+    para = sta.parasitics.extract(edge.net_name)
+    pin_cap = 2.0
+    if not edge.sink.is_port:
+        pin_cap = sta.graph.cell_of(edge.sink).pin(edge.sink.pin).capacitance
+    delay = para.wire_delay(edge.sink, pin_cap)
+    sigma = 0.0
+    if wire_annotator is not None:
+        sigma = wire_annotator.wire_delay_sigma(edge.net_name, edge.sink,
+                                                pin_cap)
+    for direction in DIRECTIONS:
+        src = result.arrivals.get((edge.driver, direction))
+        if src is None:
+            continue
+        _merge(result, (edge.sink, direction), src.shifted(delay, sigma))
+
+
+def _ssta_cell_edge(sta: STA, result: SstaResult, edge: CellEdge,
+                    global_frac: float) -> None:
+    load = driver_load(sta.graph, sta.parasitics, edge.dst)
+    for in_dir in DIRECTIONS:
+        src = result.arrivals.get((edge.src, in_dir))
+        if src is None:
+            continue
+        # Use the deterministic engine's propagated slew for table lookups.
+        det = sta.prop.at(edge.src, in_dir)
+        slew = det.slew_late if det.valid else 20.0
+        for out_dir in edge.arc.sense.output_directions(in_dir):
+            if out_dir not in edge.arc.timing:
+                continue
+            mean, _ = edge.arc.delay_and_slew(out_dir, slew, load)
+            sigma = edge.arc.sigma(out_dir, slew, load, "late") or 0.0
+            s_global = sigma * global_frac
+            s_local = sigma * math.sqrt(max(1.0 - global_frac**2, 0.0))
+            _merge(
+                result,
+                (edge.dst, out_dir),
+                src.shifted(mean, s_local, s_global),
+            )
+
+
+def _ssta_endpoints(sta: STA, result: SstaResult) -> None:
+    clock = sta.constraints.the_clock() if sta.constraints.clocks else None
+    if clock is None:
+        return
+    for check in sta.graph.setup_checks():
+        data = None
+        for direction in DIRECTIONS:
+            cand = result.arrivals.get((check.data_pin, direction))
+            if cand is None:
+                continue
+            data = cand if data is None else clark_max(data, cand)
+        if data is None:
+            continue
+        clk = result.arrivals.get((check.clock_pin, "rise"))
+        clk_mean = clk.mean if clk else 0.0
+        det_clk = sta.prop.at(check.clock_pin, "rise")
+        clk_slew = det_clk.slew_late if det_clk.valid else clock.slew
+        det_data = sta.prop.at(
+            check.data_pin,
+            "rise" if result.arrivals.get((check.data_pin, "rise")) else "fall",
+        )
+        data_slew = det_data.slew_late if det_data.valid else 20.0
+        setup = check.arc.constraint_value("rise", data_slew, clk_slew)
+        required = (
+            clock.period + clk_mean - setup - clock.uncertainty_setup
+            - sta.constraints.flat_setup_margin
+        )
+        # Slack distribution = required - data arrival.
+        result.endpoint_slacks[check.data_pin] = GaussianArrival(
+            mean=required - data.mean,
+            sigma_local=data.sigma_local,
+            sigma_global=data.sigma_global,
+        )

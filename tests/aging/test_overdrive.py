@@ -1,0 +1,79 @@
+"""Tests for overdrive-signoff optimization ([4])."""
+
+import pytest
+
+from repro.aging.overdrive import (
+    OverdriveOutcome,
+    best_outcome,
+    optimize_overdrive_signoff,
+)
+from repro.errors import SignoffError
+from repro.netlist.generators import random_logic
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return optimize_overdrive_signoff(
+        design_factory=lambda: random_logic(n_gates=80, n_levels=6, seed=2),
+        nominal_period=450.0,
+        overdrive_period=330.0,
+        v_candidates=(0.84, 0.90, 0.96, 1.02),
+    )
+
+
+class TestSweep:
+    def test_low_rail_infeasible(self, outcomes):
+        """The overdrive frequency is unreachable at the lowest rail even
+        with maximal upsizing — the area wall."""
+        assert not outcomes[0].closed_overdrive
+
+    def test_high_rail_feasible(self, outcomes):
+        assert outcomes[-1].feasible
+
+    def test_aging_monotone_in_rail(self, outcomes):
+        """Higher overdrive rails accelerate BTI: EOL shift grows."""
+        shifts = [o.eol_shift_mv for o in outcomes]
+        assert shifts == sorted(shifts)
+
+    def test_area_decreases_with_rail(self, outcomes):
+        """More voltage headroom means less upsizing."""
+        feasible_area = [o.area for o in outcomes if o.closed_overdrive]
+        infeasible_area = [o.area for o in outcomes
+                           if not o.closed_overdrive]
+        # Closed implementations are smaller than the maxed-out failures.
+        assert min(infeasible_area) > max(feasible_area)
+
+    def test_nominal_mode_always_checked(self, outcomes):
+        assert all(o.closed_nominal for o in outcomes)
+
+
+class TestSelection:
+    def test_best_is_feasible(self, outcomes):
+        assert best_outcome(outcomes).feasible
+
+    def test_weights_steer_the_choice(self, outcomes):
+        """Pure-area weighting picks the highest feasible rail (least
+        upsizing); power weighting cannot pick a costlier-power rail."""
+        by_area = best_outcome(outcomes, area_weight=1.0)
+        by_power = best_outcome(outcomes, area_weight=0.0)
+        feasible = [o for o in outcomes if o.feasible]
+        assert by_area.area == min(o.area for o in feasible)
+        assert by_power.lifetime_power == min(
+            o.lifetime_power for o in feasible
+        )
+
+    def test_no_feasible_rail_raises(self):
+        bad = [
+            OverdriveOutcome(v_od=0.8, closed_overdrive=False,
+                             closed_nominal=True, area=1.0,
+                             lifetime_power=1.0, eol_shift_mv=10.0)
+        ]
+        with pytest.raises(SignoffError):
+            best_outcome(bad)
+
+    def test_cost_normalization(self):
+        o = OverdriveOutcome(v_od=0.9, closed_overdrive=True,
+                             closed_nominal=True, area=200.0,
+                             lifetime_power=2.0, eol_shift_mv=30.0)
+        assert o.cost(area_ref=100.0, power_ref=1.0, area_weight=0.5) == \
+            pytest.approx(0.5 * 2.0 + 0.5 * 2.0)

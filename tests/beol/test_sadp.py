@@ -1,0 +1,120 @@
+"""Tests for the SADP sigma model (paper Fig 5(c))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beol.sadp import (
+    PatterningCase,
+    SadpSigmas,
+    all_case_sigmas,
+    assign_cases,
+    cd_sigma_to_rc_sensitivity,
+    line_cd_sigma,
+    line_cd_variance,
+    segment_population_rc_sigmas,
+)
+from repro.errors import CornerError
+
+
+SIGMAS = SadpSigmas(mandrel=1.0, spacer=0.8, block=1.5,
+                    mandrel_block_overlay=1.2)
+
+
+class TestFormulas:
+    """The four Fig 5(c) variance formulas, verified term by term."""
+
+    def test_case_i(self):
+        assert line_cd_variance(PatterningCase.MANDREL_MANDREL, SIGMAS) == \
+            pytest.approx(1.0**2)
+
+    def test_case_ii(self):
+        assert line_cd_variance(PatterningCase.SPACER_SPACER, SIGMAS) == \
+            pytest.approx(1.0**2 + 2 * 0.8**2)
+
+    def test_case_iii(self):
+        assert line_cd_variance(PatterningCase.MANDREL_BLOCK, SIGMAS) == \
+            pytest.approx((0.5 * 1.0) ** 2 + 1.2**2 + (0.5 * 1.5) ** 2)
+
+    def test_case_iv(self):
+        assert line_cd_variance(PatterningCase.SPACER_BLOCK, SIGMAS) == \
+            pytest.approx(
+                (0.5 * 1.0) ** 2 + 0.8**2 + 1.2**2 + (0.5 * 1.5) ** 2
+            )
+
+    def test_sigma_is_sqrt_of_variance(self):
+        for case in PatterningCase:
+            assert line_cd_sigma(case, SIGMAS) == pytest.approx(
+                math.sqrt(line_cd_variance(case, SIGMAS))
+            )
+
+    @given(
+        m=st.floats(0.0, 5.0),
+        s=st.floats(0.0, 5.0),
+        b=st.floats(0.0, 5.0),
+        mb=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_spacer_case_never_below_mandrel_case(self, m, s, b, mb):
+        """Case II adds spacer variance on top of case I; case IV adds it
+        on top of case III."""
+        sig = SadpSigmas(m, s, b, mb)
+        assert line_cd_variance(PatterningCase.SPACER_SPACER, sig) >= \
+            line_cd_variance(PatterningCase.MANDREL_MANDREL, sig)
+        assert line_cd_variance(PatterningCase.SPACER_BLOCK, sig) >= \
+            line_cd_variance(PatterningCase.MANDREL_BLOCK, sig)
+
+    def test_all_case_sigmas_table(self):
+        table = all_case_sigmas(SIGMAS)
+        assert set(table) == set(PatterningCase)
+        assert all(v >= 0 for v in table.values())
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(CornerError):
+            SadpSigmas(mandrel=-1.0)
+
+
+class TestCaseAssignment:
+    def test_deterministic(self):
+        assert assign_cases(50, seed=3) == assign_cases(50, seed=3)
+
+    def test_alternation_without_cuts(self):
+        cases = assign_cases(6, seed=0, cut_fraction=0.0)
+        assert cases == [
+            PatterningCase.MANDREL_MANDREL,
+            PatterningCase.SPACER_SPACER,
+        ] * 3
+
+    def test_all_cut(self):
+        cases = assign_cases(4, seed=0, cut_fraction=1.0)
+        assert cases == [
+            PatterningCase.MANDREL_BLOCK,
+            PatterningCase.SPACER_BLOCK,
+        ] * 2
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(CornerError):
+            assign_cases(4, cut_fraction=1.5)
+
+
+class TestRcSensitivity:
+    def test_relative_sigma(self):
+        out = cd_sigma_to_rc_sensitivity(2.0, 20.0)
+        assert out["r_rel_sigma"] == pytest.approx(0.1)
+        assert out["c_coupling_rel_sigma"] == pytest.approx(0.1)
+        assert out["c_ground_rel_sigma"] == pytest.approx(0.03)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CornerError):
+            cd_sigma_to_rc_sensitivity(1.0, 0.0)
+
+    def test_population_is_bimodal_by_case(self):
+        pop = segment_population_rc_sigmas(
+            200, SIGMAS, nominal_width_nm=20.0, seed=1, cut_fraction=0.0
+        )
+        sigmas = {p["case"]: p["r_rel_sigma"] for p in pop}
+        # Only cases i and ii appear, with different sigma levels.
+        assert set(sigmas) == {"i", "ii"}
+        assert sigmas["ii"] > sigmas["i"]

@@ -1,0 +1,143 @@
+"""Tests for 3DIC partitioning, TSV parasitics and cross-die corners."""
+
+import pytest
+
+from repro.core.threedic import (
+    TsvSpec,
+    apply_tsv_parasitics,
+    cross_die_corner_matrix,
+    cross_die_nets,
+    die_derates,
+    partition_by_y,
+    repartition_to_avoid_cross_die_criticality,
+    worst_off_diagonal_penalty,
+)
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.design import Design, PortDirection
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture()
+def design(lib):
+    d = random_logic(n_gates=150, n_levels=8, seed=5)
+    d.bind(lib)
+    return d
+
+
+class TestPartition:
+    def test_roughly_balanced(self, design):
+        assignment = partition_by_y(design)
+        counts = [list(assignment.values()).count(d) for d in (0, 1)]
+        assert min(counts) > 0.25 * sum(counts)
+
+    def test_unplaced_design_rejected(self, lib):
+        d = Design("unplaced")
+        d.add_port("clk", PortDirection.INPUT)
+        d.add_instance("u", "INV_X1_SVT", {"A": "clk", "ZN": "z"})
+        with pytest.raises(TimingError):
+            partition_by_y(d)
+
+    def test_only_two_dies(self, design):
+        with pytest.raises(TimingError):
+            partition_by_y(design, n_dies=3)
+
+    def test_cross_die_nets_found(self, design):
+        assignment = partition_by_y(design)
+        crossings = cross_die_nets(design, assignment)
+        assert crossings
+        assert "clk" in crossings  # the clock reaches both dies
+
+
+class TestTsv:
+    def test_tsv_caps_added(self, design):
+        assignment = partition_by_y(design)
+        count = apply_tsv_parasitics(design, assignment, TsvSpec())
+        assert count == len(cross_die_nets(design, assignment))
+        crossing = cross_die_nets(design, assignment)[0]
+        assert design.get_net(crossing).extra_cap >= 25.0
+
+    def test_tsv_slows_timing(self, lib, design):
+        c = Constraints.single_clock(500.0)
+        before = STA(design, lib, c).run().wns("setup")
+        apply_tsv_parasitics(design, partition_by_y(design))
+        after = STA(design, lib, c).run().wns("setup")
+        assert after < before
+
+    def test_delay_hint(self):
+        assert TsvSpec(0.1, 30.0).extra_delay_hint == pytest.approx(3.0)
+
+
+class TestCrossDieCorners:
+    @pytest.fixture(scope="class")
+    def matrix(self, lib):
+        from repro.cts.tree import synthesize_clock_tree
+
+        d = random_logic(n_gates=150, n_levels=8, seed=5)
+        d.bind(lib)
+        # A buffered clock tree is essential: with an ideal clock the
+        # capture side would not move with die speed at all.
+        synthesize_clock_tree(d, lib)
+        assignment = partition_by_y(d)
+        apply_tsv_parasitics(d, assignment)
+        c = Constraints.single_clock(560.0)
+        c.input_delays = {f"in{i}": 60.0 for i in range(32)}
+        return cross_die_corner_matrix(d, lib, c, assignment)
+
+    def test_matrix_complete(self, matrix):
+        assert len(matrix) == 9
+        labels = {r.label for r in matrix}
+        assert "d0:fast/d1:slow" in labels
+
+    def test_slow_slow_is_setup_worst(self, matrix):
+        worst = min(matrix, key=lambda r: r.wns_setup)
+        assert worst.die0_speed >= 1.0 and worst.die1_speed >= 1.0
+
+    def test_off_diagonal_hold_penalty(self, matrix):
+        """Mismatched dies hurt hold: a fast launch die racing a slow
+        capture die is the 3DIC-specific corner."""
+        penalty = worst_off_diagonal_penalty(matrix, "hold")
+        assert penalty > 0.0
+
+    def test_per_die_derates_structure(self):
+        derates = die_derates({"a": 0, "b": 1}, {0: 0.95, 1: 1.05})
+        assert derates.factor(False, "late", 1, "a") == pytest.approx(0.95)
+        assert derates.factor(False, "late", 1, "b") == pytest.approx(1.05)
+        assert derates.factor(False, "late", 1, "unknown") == 1.0
+
+
+class TestRepartitioning:
+    def test_moves_reduce_cross_die_critical_paths(self, lib):
+        d = random_logic(n_gates=150, n_levels=8, seed=5)
+        d.bind(lib)
+        assignment = partition_by_y(d)
+        c = Constraints.single_clock(500.0)
+        c.input_delays = {f"in{i}": 60.0 for i in range(32)}
+
+        def critical_crossings(asg):
+            sta = STA(d, lib, c)
+            report = sta.run()
+            count = 0
+            for e in report.endpoints("setup")[:10]:
+                if e.kind != "setup":
+                    continue
+                path = sta.worst_path(e)
+                dies = {asg.get(p.ref.instance) for p in path.points
+                        if not p.ref.is_port}
+                if len(dies) > 1:
+                    count += 1
+            return count
+
+        before = critical_crossings(assignment)
+        new_assignment, moves = repartition_to_avoid_cross_die_criticality(
+            d, lib, c, assignment, max_moves=60
+        )
+        after = critical_crossings(new_assignment)
+        assert moves > 0
+        assert after <= before

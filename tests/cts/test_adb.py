@@ -1,0 +1,108 @@
+"""Tests for adjustable-delay-buffer multi-mode skew equalization."""
+
+import pytest
+
+from repro.cts.adb import AdbMenu, assign_per_mode, assign_static
+from repro.cts.skew import SkewReport, clock_skew_report
+from repro.cts.tree import synthesize_clock_tree
+from repro.errors import TimingError
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.design import PinRef
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+
+
+def fake_report(arrivals):
+    return SkewReport(
+        arrivals={PinRef(f"f{i}", "CK"): a for i, a in enumerate(arrivals)}
+    )
+
+
+class TestMenu:
+    def test_settings_enumerated(self):
+        menu = AdbMenu(step=5.0, n_steps=4)
+        assert menu.settings() == [0.0, 5.0, 10.0, 15.0, 20.0]
+        assert menu.max_delay == 20.0
+
+    def test_quantize_down(self):
+        menu = AdbMenu(step=4.0, n_steps=8)
+        assert menu.quantize_down(9.9) == 8.0
+        assert menu.quantize_down(-3.0) == 0.0
+        assert menu.quantize_down(1000.0) == menu.max_delay
+
+
+class TestPerMode:
+    def test_skew_collapses_to_step(self):
+        reports = {
+            "nominal": fake_report([100.0, 108.0, 117.0, 121.0]),
+            "low_v": fake_report([160.0, 185.0, 150.0, 172.0]),
+        }
+        menu = AdbMenu(step=4.0, n_steps=12)
+        result = assign_per_mode(reports, menu)
+        for mode in reports:
+            assert result.skew_after[mode] < result.skew_before[mode]
+            assert result.skew_after[mode] <= menu.step + 1e-9
+
+    def test_settings_differ_across_modes(self):
+        """The point of *adjustable* buffers: the same sink needs
+        different padding in different voltage modes."""
+        reports = {
+            "nominal": fake_report([100.0, 120.0]),
+            "low_v": fake_report([170.0, 150.0]),  # order reversed
+        }
+        result = assign_per_mode(reports, AdbMenu(step=2.0, n_steps=20))
+        sink0 = PinRef("f0", "CK")
+        assert result.settings[("nominal", sink0)] != \
+            result.settings[("low_v", sink0)]
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(TimingError):
+            assign_per_mode({})
+
+    def test_range_limit_leaves_residual(self):
+        reports = {"m": fake_report([0.0, 100.0])}
+        menu = AdbMenu(step=4.0, n_steps=5)  # max 20 ps — not enough
+        result = assign_per_mode(reports, menu)
+        assert result.skew_after["m"] == pytest.approx(80.0)
+
+
+class TestStaticVsAdjustable:
+    def test_static_worse_when_modes_disagree(self):
+        reports = {
+            "nominal": fake_report([100.0, 120.0, 110.0]),
+            "low_v": fake_report([180.0, 150.0, 165.0]),
+        }
+        menu = AdbMenu(step=2.0, n_steps=30)
+        adjustable = assign_per_mode(reports, menu)
+        static = assign_static(reports, menu)
+        assert adjustable.worst_skew_after < static.worst_skew_after
+
+    def test_static_still_helps(self):
+        reports = {
+            "nominal": fake_report([100.0, 130.0, 110.0]),
+            "low_v": fake_report([150.0, 195.0, 165.0]),  # same ordering
+        }
+        static = assign_static(reports, AdbMenu(step=2.0, n_steps=30))
+        assert static.worst_skew_after < static.worst_skew_before
+
+
+class TestEndToEnd:
+    def test_voltage_modes_from_real_tree(self):
+        """Build a clock tree, measure skew at two voltage modes, and
+        equalize with ADBs."""
+        lib_nom = make_library(LibraryCondition(vdd=0.8))
+        design = random_logic(n_gates=120, n_levels=6, seed=5)
+        design.bind(lib_nom)
+        synthesize_clock_tree(design, lib_nom)
+        reports = {}
+        for mode, vdd in (("nominal", 0.8), ("low_v", 0.62)):
+            lib = make_library(LibraryCondition(vdd=vdd))
+            sta = STA(design, lib, Constraints.single_clock(900.0))
+            sta.run()
+            reports[mode] = clock_skew_report(sta)
+        # Low-voltage mode has visibly different (larger) insertion delay.
+        assert reports["low_v"].insertion_delay > \
+            reports["nominal"].insertion_delay
+        result = assign_per_mode(reports, AdbMenu(step=2.0, n_steps=30))
+        for mode in reports:
+            assert result.skew_after[mode] <= result.skew_before[mode]

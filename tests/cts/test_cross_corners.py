@@ -1,0 +1,87 @@
+"""Tests for FSG/SFG cross-corners and clock duty-cycle analysis."""
+
+import pytest
+
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+from repro.cts.skew import duty_cycle_report
+from repro.cts.tree import synthesize_clock_tree
+from repro.errors import TimingError
+
+
+def inv_delays(process):
+    lib = make_library(LibraryCondition(process=process), flavors=("svt",))
+    arc = lib.cell("INV_X1_SVT").arcs[0]
+    return (
+        arc.delay_and_slew("fall", 20.0, 4.0)[0],
+        arc.delay_and_slew("rise", 20.0, 4.0)[0],
+    )
+
+
+class TestCrossCornerLibraries:
+    def test_fsg_fast_pulldown_slow_pullup(self):
+        tt_fall, tt_rise = inv_delays("tt")
+        fsg_fall, fsg_rise = inv_delays("fsg")
+        assert fsg_fall < tt_fall  # fast NMOS
+        assert fsg_rise > tt_rise  # slow PMOS
+
+    def test_sfg_mirror_image(self):
+        tt_fall, tt_rise = inv_delays("tt")
+        sfg_fall, sfg_rise = inv_delays("sfg")
+        assert sfg_fall > tt_fall
+        assert sfg_rise < tt_rise
+
+    def test_cross_corners_skew_opposite_directions(self):
+        fsg_fall, fsg_rise = inv_delays("fsg")
+        sfg_fall, sfg_rise = inv_delays("sfg")
+        assert (fsg_rise - fsg_fall) > 0.0 > (sfg_rise - sfg_fall) - \
+            (inv_delays("tt")[1] - inv_delays("tt")[0]) * 2
+
+    def test_cross_corner_mean_speed_near_typical(self):
+        """FSG/SFG are skew corners, not speed corners: the rise+fall
+        average stays near typical."""
+        tt_fall, tt_rise = inv_delays("tt")
+        fsg_fall, fsg_rise = inv_delays("fsg")
+        assert (fsg_fall + fsg_rise) == pytest.approx(
+            tt_fall + tt_rise, rel=0.05
+        )
+
+
+class TestDutyCycle:
+    @pytest.fixture(scope="class")
+    def design(self):
+        lib = make_library()
+        d = random_logic(n_gates=120, n_levels=6, seed=5)
+        d.bind(lib)
+        synthesize_clock_tree(d, lib)
+        return d
+
+    def run_at(self, design, process):
+        lib = make_library(LibraryCondition(process=process))
+        sta = STA(design, lib, Constraints.single_clock(600.0))
+        sta.run()
+        return duty_cycle_report(sta)
+
+    def test_requires_run(self, design):
+        lib = make_library()
+        sta = STA(design, lib, Constraints.single_clock(600.0))
+        with pytest.raises(TimingError):
+            duty_cycle_report(sta)
+
+    def test_cross_corner_distorts_more_than_typical(self, design):
+        tt = self.run_at(design, "tt")
+        fsg = self.run_at(design, "fsg")
+        assert abs(fsg.worst) > abs(tt.worst)
+
+    def test_fsg_and_sfg_distort_opposite_ways(self, design):
+        fsg = self.run_at(design, "fsg")
+        sfg = self.run_at(design, "sfg")
+        assert fsg.mean * sfg.mean < 0.0  # opposite signs
+
+    def test_distortion_covers_all_flops(self, design):
+        lib = make_library()
+        report = self.run_at(design, "tt")
+        sta = STA(design, lib, Constraints.single_clock(600.0))
+        sta.run()
+        assert len(report.distortion) == len(sta.graph.setup_checks())

@@ -1,0 +1,97 @@
+"""Tests for the interdependent flip-flop model."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flops.model import InterdependentFlopModel, default_flop_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_flop_model()
+
+
+class TestC2qSurface:
+    def test_c2q_decreasing_in_setup(self, model):
+        assert model.c2q(10.0) > model.c2q(20.0) > model.c2q(80.0)
+
+    def test_c2q_decreasing_in_hold(self, model):
+        assert model.c2q(80.0, hold=5.0) > model.c2q(80.0, hold=80.0)
+
+    def test_c2q_asymptote(self, model):
+        assert model.c2q(500.0, 500.0) == pytest.approx(model.c2q_inf, rel=0.01)
+
+    def test_wall_rejected(self, model):
+        with pytest.raises(ReproError, match="wall"):
+            model.c2q(model.s_wall - 1.0)
+        with pytest.raises(ReproError, match="wall"):
+            model.c2q(80.0, hold=model.h_wall - 1.0)
+
+    def test_gradient_negative_and_consistent(self, model):
+        s = 20.0
+        eps = 1e-4
+        fd = (model.c2q(s + eps) - model.c2q(s - eps)) / (2 * eps)
+        assert model.dc2q_dsetup(s) == pytest.approx(fd, rel=1e-4)
+        assert model.dc2q_dsetup(s) < 0.0
+
+    def test_matches_transistor_level_characterization(self, model):
+        """The default constants track the six-NAND flop measurements
+        (setup sweep at hold=80: see tests/spice/test_testbench)."""
+        from repro.spice.testbench import dff_capture_trial
+
+        for setup in (20.0, 40.0, 80.0):
+            measured = dff_capture_trial(setup_time=setup, hold_time=80.0)
+            assert measured.captured
+            assert model.c2q(setup, 80.0) == pytest.approx(
+                measured.c2q_delay, rel=0.12
+            )
+
+
+class TestPushout:
+    def test_pushout_above_wall(self, model):
+        assert model.pushout_setup() > model.s_wall
+
+    def test_smaller_fraction_larger_setup(self, model):
+        assert model.pushout_setup(0.02) > model.pushout_setup(0.20)
+
+    def test_pushout_definition(self, model):
+        s = model.pushout_setup(0.10)
+        assert model.c2q(s) == pytest.approx(1.10 * model.c2q(1e6), rel=0.01)
+
+    def test_hold_pushout_flat_branch_hugs_wall(self, model):
+        # The hold branch is shallow: a 10% pushout never triggers.
+        assert model.pushout_hold(0.10) == pytest.approx(
+            model.h_wall + 0.5
+        )
+
+
+class TestContour:
+    def test_equal_c2q_contour_tradeoff(self, model):
+        """Fig 10(iii): along an equal-c2q contour, less setup requires
+        more hold."""
+        target = model.c2q_inf + 0.35
+        contour = model.equal_c2q_contour(
+            target, setups=[65.0, 70.0, 80.0, 100.0, 120.0]
+        )
+        assert len(contour) >= 3
+        setups = [s for s, _ in contour]
+        holds = [h for _, h in contour]
+        assert setups == sorted(setups)
+        assert holds == sorted(holds, reverse=True)
+
+
+class TestFit:
+    def test_fit_recovers_synthetic_model(self):
+        truth = InterdependentFlopModel(
+            c2q_inf=50.0, a_s=90.0, tau_s=12.0, s_wall=5.0
+        )
+        curve = [(s, truth.c2q(s)) for s in (8, 10, 14, 18, 25, 35, 50, 80)]
+        curve += [(3.0, None), (5.0, None)]
+        fitted = InterdependentFlopModel.fit(curve)
+        assert fitted.c2q_inf == pytest.approx(50.0, rel=0.05)
+        assert fitted.tau_s == pytest.approx(12.0, rel=0.25)
+        assert fitted.s_wall == 5.0
+
+    def test_fit_needs_enough_samples(self):
+        with pytest.raises(ReproError):
+            InterdependentFlopModel.fit([(10.0, 60.0), (20.0, 55.0)])

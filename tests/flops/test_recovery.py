@@ -1,0 +1,101 @@
+"""Tests for margin recovery with flexible flip-flop timing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flops.model import default_flop_model
+from repro.flops.recovery import (
+    Stage,
+    baseline_wns,
+    recover_margin,
+    stages_from_sta,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_flop_model()
+
+
+def ring(delays):
+    names = [f"f{i}" for i in range(len(delays))]
+    return [
+        Stage(names[i], names[(i + 1) % len(names)], d)
+        for i, d in enumerate(delays)
+    ]
+
+
+class TestBaseline:
+    def test_baseline_matches_hand_calculation(self, model):
+        stages = [Stage("a", "b", 300.0)]
+        s = model.pushout_setup(0.10)
+        expected = 430.0 - model.c2q(s) - 300.0 - s
+        assert baseline_wns(stages, model, 430.0) == pytest.approx(expected)
+
+    def test_baseline_worst_stage_governs(self, model):
+        stages = ring([200.0, 340.0, 250.0])
+        lone = [Stage("a", "b", 340.0)]
+        assert baseline_wns(stages, model, 430.0) == pytest.approx(
+            baseline_wns(lone, model, 430.0)
+        )
+
+
+class TestRecovery:
+    def test_never_worse_than_baseline(self, model):
+        stages = ring([300.0, 340.0, 250.0])
+        res = recover_margin(stages, model, period=430.0)
+        assert res.recovered_wns >= res.baseline_wns - 1e-9
+
+    def test_recovers_on_unbalanced_ring(self, model):
+        """Unbalanced stages are where flexibility pays: the flop between
+        a long and a short stage shifts its operating point."""
+        stages = ring([340.0, 220.0, 260.0])
+        res = recover_margin(stages, model, period=430.0)
+        assert res.improvement > 5.0
+
+    def test_balanced_ring_gains_less(self, model):
+        balanced = ring([300.0, 300.0, 300.0])
+        unbalanced = ring([360.0, 240.0, 300.0])
+        gain_b = recover_margin(balanced, model, period=430.0).improvement
+        gain_u = recover_margin(unbalanced, model, period=430.0).improvement
+        assert gain_u > gain_b
+
+    def test_setup_points_within_bounds(self, model):
+        stages = ring([320.0, 280.0])
+        res = recover_margin(stages, model, period=430.0, s_max=120.0)
+        for s in res.setup_points.values():
+            assert model.s_wall < s <= 120.0
+
+    def test_empty_stages_rejected(self, model):
+        with pytest.raises(ReproError):
+            recover_margin([], model, period=430.0)
+
+    def test_result_consistent_with_points(self, model):
+        stages = ring([340.0, 220.0, 260.0])
+        res = recover_margin(stages, model, period=430.0)
+        wns = min(
+            430.0
+            - model.c2q(res.setup_points[st.launch])
+            - st.data_delay
+            - res.setup_points[st.capture]
+            for st in stages
+        )
+        assert wns == pytest.approx(res.recovered_wns, abs=1e-6)
+
+
+class TestStagesFromSta:
+    def test_extraction(self):
+        from repro.liberty import make_library
+        from repro.netlist.generators import random_logic
+        from repro.sta import STA, Constraints
+
+        lib = make_library()
+        d = random_logic(n_gates=120, n_levels=6, seed=3)
+        sta = STA(d, lib, Constraints.single_clock(500.0))
+        report = sta.run()
+        stages = stages_from_sta(sta, report, limit=20)
+        assert stages
+        for st in stages:
+            assert st.data_delay > 0.0
+            assert st.launch != ""
+            assert st.capture != ""

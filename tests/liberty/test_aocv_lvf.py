@@ -1,0 +1,131 @@
+"""Tests for AOCV/POCV and LVF variation models."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty import make_library
+from repro.liberty.aocv import (
+    AocvTable,
+    arc_pocv_sigma,
+    library_reference_sigma,
+    pocv_sigma,
+)
+from repro.liberty.lvf import arc_sigma, has_lvf, sigma_asymmetry, strip_lvf
+
+
+@pytest.fixture()
+def lib():
+    return make_library(flavors=("svt",))
+
+
+class TestAocvTable:
+    def test_late_derate_above_one(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        assert t.derate(1.0, 0.0, "late") > 1.0
+
+    def test_early_derate_below_one(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        assert t.derate(1.0, 0.0, "early") < 1.0
+
+    def test_statistical_averaging_with_depth(self):
+        """Deeper paths get milder derates — the AOCV premise."""
+        t = AocvTable.from_reference_sigma(0.05)
+        d1 = t.derate(1.0, 0.0, "late")
+        d16 = t.derate(16.0, 0.0, "late")
+        assert d16 < d1
+        assert d16 > 1.0
+
+    def test_distance_increases_derate(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        near = t.derate(4.0, 0.0, "late")
+        far = t.derate(4.0, 1000.0, "late")
+        assert far > near
+
+    def test_depth_clamped_outside_table(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        assert t.derate(64.0, 0.0, "late") == pytest.approx(
+            t.derate(32.0, 0.0, "late")
+        )
+
+    def test_interpolation_between_depths(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        d2, d3, d4 = (t.derate(d, 0.0, "late") for d in (2.0, 3.0, 4.0))
+        assert d4 < d3 < d2
+
+    def test_bad_mode_rejected(self):
+        t = AocvTable.from_reference_sigma(0.05)
+        with pytest.raises(LibraryError):
+            t.derate(1.0, 0.0, "typ")
+
+    def test_early_never_negative(self):
+        t = AocvTable.from_reference_sigma(0.5)  # absurd sigma
+        assert t.derate(1.0, 1000.0, "early") >= 0.05
+
+
+class TestPocv:
+    def test_pocv_sigma_positive(self, lib):
+        assert pocv_sigma(lib.cell("INV_X1_SVT")) > 0.0
+
+    def test_pocv_smaller_for_larger_cells(self, lib):
+        """Pelgrom: bigger devices vary relatively less."""
+        assert pocv_sigma(lib.cell("INV_X4_SVT")) < pocv_sigma(
+            lib.cell("INV_X1_SVT")
+        )
+
+    def test_late_mode_exceeds_early(self, lib):
+        cell = lib.cell("NAND2_X1_SVT")
+        assert pocv_sigma(cell, mode="late") > pocv_sigma(cell, mode="early")
+
+    def test_arc_pocv_sigma_matches_cell_level(self, lib):
+        cell = lib.cell("INV_X1_SVT")
+        assert arc_pocv_sigma(cell.arcs[0]) == pytest.approx(pocv_sigma(cell))
+
+    def test_reference_sigma_is_mean(self, lib):
+        cells = [lib.cell("INV_X1_SVT"), lib.cell("INV_X4_SVT")]
+        ref = library_reference_sigma(cells)
+        lo, hi = sorted(pocv_sigma(c) for c in cells)
+        assert lo <= ref <= hi
+
+    def test_pocv_on_cell_without_arcs_raises(self, lib):
+        from repro.liberty.cell import Cell
+
+        empty = Cell(name="X", footprint="x", size=1.0, vt_flavor="svt",
+                     area=1.0, leakage=0.0)
+        with pytest.raises(LibraryError):
+            pocv_sigma(empty)
+
+
+class TestLvf:
+    def test_factory_library_has_lvf(self, lib):
+        assert has_lvf(lib)
+
+    def test_strip_lvf(self, lib):
+        stripped = strip_lvf(lib)
+        assert stripped > 0
+        assert not has_lvf(lib)
+
+    def test_arc_sigma_lookup(self, lib):
+        arc = lib.cell("INV_X1_SVT").arcs[0]
+        sigma = arc_sigma(arc, "fall", 20.0, 8.0, "late")
+        assert sigma > 0.0
+
+    def test_arc_sigma_grows_with_load(self, lib):
+        arc = lib.cell("INV_X1_SVT").arcs[0]
+        assert arc_sigma(arc, "fall", 20.0, 32.0, "late") > arc_sigma(
+            arc, "fall", 20.0, 2.0, "late"
+        )
+
+    def test_arc_sigma_missing_raises(self, lib):
+        strip_lvf(lib)
+        arc = lib.cell("INV_X1_SVT").arcs[0]
+        with pytest.raises(LibraryError):
+            arc_sigma(arc, "fall", 20.0, 8.0, "late")
+
+    def test_sigma_asymmetry_reflects_long_tail(self, lib):
+        ratio = sigma_asymmetry(lib.cell("INV_X1_SVT"))
+        assert ratio is not None
+        assert ratio > 1.2  # late sigma dominates (Fig 7 setup long tail)
+
+    def test_sigma_asymmetry_none_after_strip(self, lib):
+        strip_lvf(lib)
+        assert sigma_asymmetry(lib.cell("INV_X1_SVT")) is None

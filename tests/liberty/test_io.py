@@ -1,0 +1,117 @@
+"""Round-trip tests for the Liberty-lite writer/parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty import make_library
+from repro.liberty.arcs import TimingType
+from repro.liberty.io import parse_library, write_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library(flavors=("svt",))
+
+
+@pytest.fixture(scope="module")
+def round_tripped(lib):
+    return parse_library(write_library(lib))
+
+
+class TestRoundTrip:
+    def test_library_attributes(self, lib, round_tripped):
+        assert round_tripped.name == lib.name
+        assert round_tripped.vdd == lib.vdd
+        assert round_tripped.temp_c == lib.temp_c
+        assert round_tripped.process == lib.process
+
+    def test_cell_count_preserved(self, lib, round_tripped):
+        assert set(round_tripped.cells) == set(lib.cells)
+
+    def test_cell_metadata_preserved(self, lib, round_tripped):
+        a, b = lib.cell("INV_X1_SVT"), round_tripped.cell("INV_X1_SVT")
+        assert b.footprint == a.footprint
+        assert b.size == a.size
+        assert b.vt_flavor == a.vt_flavor
+        assert b.area == pytest.approx(a.area)
+        assert b.leakage == pytest.approx(a.leakage)
+        assert b.function == a.function
+
+    def test_pins_preserved(self, lib, round_tripped):
+        a, b = lib.cell("DFF_X1_SVT"), round_tripped.cell("DFF_X1_SVT")
+        assert set(b.pins) == set(a.pins)
+        assert b.pin("CK").is_clock
+        assert b.pin("D").capacitance == pytest.approx(a.pin("D").capacitance)
+        assert b.pin("Q").max_capacitance == pytest.approx(
+            a.pin("Q").max_capacitance
+        )
+
+    def test_delay_tables_preserved(self, lib, round_tripped):
+        a = lib.cell("NAND2_X2_SVT").arcs[0]
+        b = round_tripped.cell("NAND2_X2_SVT").arcs[0]
+        np.testing.assert_allclose(
+            b.timing["fall"].delay.values, a.timing["fall"].delay.values
+        )
+        np.testing.assert_allclose(
+            b.timing["rise"].slew.values, a.timing["rise"].slew.values
+        )
+
+    def test_lvf_sigma_tables_preserved(self, lib, round_tripped):
+        a = lib.cell("INV_X2_SVT").arcs[0]
+        b = round_tripped.cell("INV_X2_SVT").arcs[0]
+        np.testing.assert_allclose(
+            b.timing["fall"].sigma_late.values, a.timing["fall"].sigma_late.values
+        )
+        np.testing.assert_allclose(
+            b.timing["fall"].sigma_early.values,
+            a.timing["fall"].sigma_early.values,
+        )
+
+    def test_constraint_tables_preserved(self, lib, round_tripped):
+        a = lib.cell("DFF_X1_SVT").arc_between("CK", "D", TimingType.SETUP_RISING)
+        b = round_tripped.cell("DFF_X1_SVT").arc_between(
+            "CK", "D", TimingType.SETUP_RISING
+        )
+        np.testing.assert_allclose(
+            b.constraint["rise"].values, a.constraint["rise"].values
+        )
+
+    def test_sequential_flag_preserved(self, round_tripped):
+        assert round_tripped.cell("DFF_X1_SVT").is_sequential
+
+    def test_lookups_identical(self, lib, round_tripped):
+        a = lib.cell("AOI21_X1_SVT").arc_between("A1", "ZN")
+        b = round_tripped.cell("AOI21_X1_SVT").arc_between("A1", "ZN")
+        assert b.delay_and_slew("rise", 13.0, 9.5) == pytest.approx(
+            a.delay_and_slew("rise", 13.0, 9.5)
+        )
+
+
+class TestParserErrors:
+    def test_empty_text_rejected(self):
+        with pytest.raises(LibraryError):
+            parse_library("")
+
+    def test_wrong_root_group(self):
+        with pytest.raises(LibraryError, match="expected a library group"):
+            parse_library("cell (X) { }")
+
+    def test_unterminated_group(self):
+        with pytest.raises(LibraryError):
+            parse_library("library (l) { cell (c) {")
+
+    def test_malformed_table(self):
+        text = """
+        library (l) {
+          cell (c) {
+            timing () {
+              related_pin : A;
+              pin : Z;
+              cell_rise { index_1 : "1, 2"; values : "1, 2 | 3, 4"; }
+            }
+          }
+        }
+        """
+        with pytest.raises(LibraryError, match="malformed table"):
+            parse_library(text)

@@ -1,0 +1,69 @@
+"""Tests for library queries (footprints, menus, swap variants)."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty import make_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+class TestLookup:
+    def test_cell_lookup(self, lib):
+        assert lib.cell("INV_X1_SVT").name == "INV_X1_SVT"
+
+    def test_missing_cell_raises(self, lib):
+        with pytest.raises(LibraryError):
+            lib.cell("MISSING")
+
+    def test_duplicate_add_rejected(self, lib):
+        with pytest.raises(LibraryError):
+            lib.add_cell(lib.cell("INV_X1_SVT"))
+
+    def test_len_and_repr(self, lib):
+        assert len(lib) == len(lib.cells)
+        assert "repro16" in repr(lib)
+
+
+class TestMenus:
+    def test_footprint_variants_sorted(self, lib):
+        variants = lib.footprint_variants("inv")
+        sizes = [c.size for c in variants]
+        assert sizes == sorted(sizes)
+        assert all(c.footprint == "inv" for c in variants)
+
+    def test_unknown_footprint_raises(self, lib):
+        with pytest.raises(LibraryError):
+            lib.footprint_variants("xor9")
+
+    def test_vt_menu_order(self, lib):
+        menu = lib.vt_menu(lib.cell("NAND2_X2_SVT"))
+        assert [c.vt_flavor for c in menu] == ["lvt", "svt", "hvt"]
+        assert all(c.size == 2.0 for c in menu)
+
+    def test_size_menu_order(self, lib):
+        menu = lib.size_menu(lib.cell("NAND2_X2_SVT"))
+        assert [c.size for c in menu] == [1.0, 2.0, 4.0]
+        assert all(c.vt_flavor == "svt" for c in menu)
+
+    def test_swap_variant_flavor(self, lib):
+        hvt = lib.swap_variant(lib.cell("INV_X2_SVT"), vt_flavor="hvt")
+        assert hvt.name == "INV_X2_HVT"
+
+    def test_swap_variant_size(self, lib):
+        big = lib.swap_variant(lib.cell("INV_X2_SVT"), size=4.0)
+        assert big.name == "INV_X4_SVT"
+
+    def test_swap_variant_missing_returns_none(self, lib):
+        assert lib.swap_variant(lib.cell("INV_X2_SVT"), size=64.0) is None
+
+    def test_buffers_sorted_by_size(self, lib):
+        bufs = lib.buffers()
+        assert [b.size for b in bufs] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_sequential_cells(self, lib):
+        seqs = lib.sequential_cells()
+        assert seqs and all(c.footprint == "dff" for c in seqs)

@@ -1,0 +1,110 @@
+"""Tests for library-variant reduction and voltage interpolation."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty import LibraryCondition, make_library
+from repro.liberty.reduction import (
+    InterpolatedArcLookup,
+    condition_fingerprint,
+    reduce_library_set,
+)
+
+
+def voltage_ladder(n=7, lo=0.65, hi=0.95):
+    return [
+        LibraryCondition(vdd=lo + i * (hi - lo) / (n - 1)) for i in range(n)
+    ]
+
+
+class TestFingerprint:
+    def test_fingerprint_length_matches_probes(self):
+        lib = make_library()
+        assert len(condition_fingerprint(lib)) == 6
+
+    def test_slower_condition_larger_fingerprint(self):
+        fast = condition_fingerprint(make_library(LibraryCondition(vdd=0.9)))
+        slow = condition_fingerprint(make_library(LibraryCondition(vdd=0.7)))
+        assert all(s > f for s, f in zip(slow, fast))
+
+
+class TestReduction:
+    def test_empty_rejected(self):
+        with pytest.raises(LibraryError):
+            reduce_library_set([])
+
+    def test_single_condition_kept(self):
+        result = reduce_library_set([LibraryCondition()])
+        assert len(result.kept) == 1
+        assert not result.dropped
+
+    def test_extremes_always_kept(self):
+        conditions = voltage_ladder()
+        result = reduce_library_set(conditions, tolerance=0.10)
+        kept_vdds = {c.vdd for c in result.kept}
+        assert conditions[0].vdd in kept_vdds
+        assert conditions[-1].vdd in kept_vdds
+
+    def test_dense_ladder_reduces(self):
+        result = reduce_library_set(voltage_ladder(9), tolerance=0.10)
+        assert result.reduction_ratio > 0.3
+        assert result.worst_coverage_error <= 0.10
+
+    def test_tighter_tolerance_keeps_more(self):
+        loose = reduce_library_set(voltage_ladder(9), tolerance=0.15)
+        tight = reduce_library_set(voltage_ladder(9), tolerance=0.02)
+        assert len(tight.kept) >= len(loose.kept)
+
+    def test_coverage_error_respected(self):
+        result = reduce_library_set(voltage_ladder(9), tolerance=0.08)
+        assert result.worst_coverage_error <= 0.08
+
+
+class TestVoltageInterpolation:
+    @pytest.fixture(scope="class")
+    def lookup(self):
+        return InterpolatedArcLookup(
+            make_library(LibraryCondition(vdd=0.7)),
+            make_library(LibraryCondition(vdd=0.9)),
+        )
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(LibraryError):
+            InterpolatedArcLookup(
+                make_library(LibraryCondition(vdd=0.9)),
+                make_library(LibraryCondition(vdd=0.7)),
+            )
+
+    def test_endpoints_exact(self, lookup):
+        d_lo = lookup.delay("INV_X1_SVT", "fall", 20.0, 4.0, 0.7)
+        true_lo = lookup.lib_lo.cell("INV_X1_SVT").delay_arcs()[0] \
+            .delay_and_slew("fall", 20.0, 4.0)[0]
+        assert d_lo == pytest.approx(true_lo)
+
+    def test_out_of_range_rejected(self, lookup):
+        with pytest.raises(LibraryError):
+            lookup.delay("INV_X1_SVT", "fall", 20.0, 4.0, 1.2)
+
+    def test_interpolated_between_endpoints(self, lookup):
+        mid = lookup.delay("INV_X1_SVT", "fall", 20.0, 4.0, 0.8)
+        lo = lookup.delay("INV_X1_SVT", "fall", 20.0, 4.0, 0.7)
+        hi = lookup.delay("INV_X1_SVT", "fall", 20.0, 4.0, 0.9)
+        assert hi < mid < lo  # delay decreases with voltage
+
+    def test_interpolation_error_small_at_midpoint(self, lookup):
+        """A 200 mV bracket interpolates to within a few percent — the
+        quantitative case for 'interpolation across lib groups'."""
+        err = lookup.interpolation_error("INV_X1_SVT", "fall", 20.0, 4.0,
+                                         0.8)
+        assert err < 0.05
+
+    def test_error_grows_with_bracket_width(self):
+        narrow = InterpolatedArcLookup(
+            make_library(LibraryCondition(vdd=0.75)),
+            make_library(LibraryCondition(vdd=0.85)),
+        ).interpolation_error("INV_X1_SVT", "fall", 20.0, 4.0, 0.8)
+        wide = InterpolatedArcLookup(
+            make_library(LibraryCondition(vdd=0.6)),
+            make_library(LibraryCondition(vdd=1.0)),
+        ).interpolation_error("INV_X1_SVT", "fall", 20.0, 4.0, 0.8)
+        assert narrow < wide

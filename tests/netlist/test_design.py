@@ -1,0 +1,143 @@
+"""Tests for the netlist data model."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty import make_library
+from repro.netlist.design import Design, PinRef, PortDirection
+from repro.netlist.generators import tiny_design
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture()
+def tiny(lib):
+    d = tiny_design()
+    d.bind(lib)
+    return d
+
+
+class TestPinRef:
+    def test_port_ref(self):
+        ref = PinRef("", "clk")
+        assert ref.is_port
+        assert str(ref) == "clk"
+
+    def test_instance_ref(self):
+        ref = PinRef("u1", "A")
+        assert not ref.is_port
+        assert str(ref) == "u1/A"
+
+
+class TestConstruction:
+    def test_duplicate_port_rejected(self):
+        d = Design("x")
+        d.add_port("a", PortDirection.INPUT)
+        with pytest.raises(NetlistError):
+            d.add_port("a", PortDirection.INPUT)
+
+    def test_duplicate_instance_rejected(self, lib):
+        d = Design("x")
+        d.add_instance("u1", "INV_X1_SVT", {"A": "a", "ZN": "z"})
+        with pytest.raises(NetlistError):
+            d.add_instance("u1", "INV_X1_SVT", {"A": "a", "ZN": "z"})
+
+    def test_input_port_drives_its_net(self):
+        d = Design("x")
+        d.add_port("a", PortDirection.INPUT)
+        assert d.get_net("a").driver == PinRef("", "a")
+
+    def test_output_port_loads_its_net(self):
+        d = Design("x")
+        d.add_port("z", PortDirection.OUTPUT)
+        assert PinRef("", "z") in d.get_net("z").loads
+
+
+class TestBind:
+    def test_bind_assigns_drivers(self, tiny):
+        assert tiny.get_net("n1").driver == PinRef("u1", "ZN")
+
+    def test_bind_assigns_loads(self, tiny):
+        loads = tiny.get_net("n1").loads
+        assert PinRef("u2", "A") in loads
+
+    def test_bind_is_idempotent(self, lib, tiny):
+        before = list(tiny.get_net("n1").loads)
+        tiny.bind(lib)
+        assert tiny.get_net("n1").loads == before
+
+    def test_multiple_drivers_rejected(self, lib):
+        d = Design("x")
+        d.add_instance("u1", "INV_X1_SVT", {"A": "a", "ZN": "z"})
+        d.add_instance("u2", "INV_X1_SVT", {"A": "b", "ZN": "z"})
+        with pytest.raises(NetlistError, match="multiple drivers"):
+            d.bind(lib)
+
+    def test_validate_catches_unconnected_pin(self, lib):
+        d = Design("x")
+        d.add_instance("u1", "NAND2_X1_SVT", {"A": "a", "ZN": "z"})  # B missing
+        d.bind(lib)
+        with pytest.raises(NetlistError, match="unconnected"):
+            d.validate(lib)
+
+    def test_validate_catches_undriven_net(self, lib):
+        d = Design("x")
+        d.add_instance("u1", "INV_X1_SVT", {"A": "floating", "ZN": "z"})
+        d.bind(lib)
+        with pytest.raises(NetlistError, match="no driver"):
+            d.validate(lib)
+
+    def test_tiny_validates(self, lib, tiny):
+        tiny.validate(lib)  # must not raise
+
+
+class TestQueries:
+    def test_missing_instance_raises(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.instance("nope")
+
+    def test_missing_net_raises(self, tiny):
+        with pytest.raises(NetlistError):
+            tiny.get_net("nope")
+
+    def test_ports_by_direction(self, tiny):
+        assert set(tiny.input_ports()) == {"clk", "in0", "in1"}
+        assert tiny.output_ports() == ["out"]
+
+    def test_sequential_split(self, lib, tiny):
+        seq = {i.name for i in tiny.sequential_instances(lib)}
+        comb = {i.name for i in tiny.combinational_instances(lib)}
+        assert seq == {"ff0", "ff1", "ff2"}
+        assert comb == {"u1", "u2"}
+
+    def test_total_area_positive(self, lib, tiny):
+        assert tiny.total_area(lib) > 0.0
+
+    def test_total_leakage_positive(self, lib, tiny):
+        assert tiny.total_leakage(lib) > 0.0
+
+    def test_hpwl(self, tiny):
+        # n1: u1 at (6, 1.4), u2 at (12, 1.4) -> HPWL = 6.
+        assert tiny.net_hpwl("n1") == pytest.approx(6.0)
+
+    def test_hpwl_single_pin_zero(self, lib):
+        d = Design("x")
+        d.add_instance("u1", "INV_X1_SVT", {"A": "a", "ZN": "z"},
+                       location=(0.0, 0.0))
+        assert d.net_hpwl("z") == 0.0
+
+    def test_unique_name(self, tiny):
+        n1 = tiny.unique_name("buf")
+        n2 = tiny.unique_name("buf")
+        assert n1 != n2
+
+    def test_fanout(self, tiny):
+        assert tiny.get_net("clk").fanout == 3
+
+    def test_net_of(self, tiny):
+        assert tiny.instance("u1").net_of("ZN") == "n1"
+        with pytest.raises(NetlistError):
+            tiny.instance("u1").net_of("X")

@@ -1,0 +1,105 @@
+"""Tests for synthetic benchmark generators."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty import make_library
+from repro.netlist.generators import (
+    aes_like,
+    c5315_like,
+    c7552_like,
+    mpeg2_like,
+    random_logic,
+    ripple_adder_design,
+    tiny_design,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+def bind_and_validate(design, lib):
+    design.bind(lib)
+    design.validate(lib)
+    return design
+
+
+class TestRandomLogic:
+    def test_deterministic(self, lib):
+        a = random_logic(n_gates=80, n_levels=4, seed=7)
+        b = random_logic(n_gates=80, n_levels=4, seed=7)
+        assert [i.cell_name for i in a.instances.values()] == [
+            i.cell_name for i in b.instances.values()
+        ]
+        assert list(a.nets) == list(b.nets)
+
+    def test_seed_changes_structure(self):
+        a = random_logic(n_gates=80, n_levels=4, seed=7)
+        b = random_logic(n_gates=80, n_levels=4, seed=8)
+        assert [i.cell_name for i in a.instances.values()] != [
+            i.cell_name for i in b.instances.values()
+        ]
+
+    def test_validates(self, lib):
+        bind_and_validate(random_logic(n_gates=120, n_levels=6), lib)
+
+    def test_gate_count(self, lib):
+        d = random_logic(n_inputs=8, n_outputs=8, n_gates=100, n_levels=5)
+        d.bind(lib)
+        comb = [i for i in d.combinational_instances(lib)
+                if not i.name.startswith("obuf")]
+        assert len(comb) == 100
+
+    def test_flop_counts(self, lib):
+        d = random_logic(n_inputs=8, n_outputs=6, n_gates=50, n_levels=5)
+        d.bind(lib)
+        assert len(d.sequential_instances(lib)) == 14
+
+    def test_clock_reaches_all_flops(self, lib):
+        d = random_logic(n_inputs=4, n_outputs=4, n_gates=30, n_levels=3)
+        d.bind(lib)
+        clk_loads = {ref.instance for ref in d.get_net("clk").loads}
+        flops = {i.name for i in d.sequential_instances(lib)}
+        assert flops <= clk_loads
+
+    def test_all_instances_placed(self):
+        d = random_logic(n_gates=40, n_levels=4)
+        assert all(i.location is not None for i in d.instances.values())
+
+    def test_too_few_gates_rejected(self):
+        with pytest.raises(NetlistError):
+            random_logic(n_gates=2, n_levels=5)
+
+
+class TestProfiles:
+    def test_c5315_like_scaled(self, lib):
+        d = bind_and_validate(c5315_like(scale=0.1), lib)
+        assert 200 < len(d.instances) < 400
+
+    def test_c7552_like_scaled(self, lib):
+        d = bind_and_validate(c7552_like(scale=0.1), lib)
+        assert 300 < len(d.instances) < 600
+
+    def test_aes_like(self, lib):
+        d = bind_and_validate(aes_like(n_sboxes=4, sbox_gates=20), lib)
+        assert len(d.sequential_instances(lib)) == 4 * 8 + 4
+
+    def test_mpeg2_like(self, lib):
+        d = bind_and_validate(
+            mpeg2_like(lanes=2, bits=4, control_gates=40), lib
+        )
+        assert len(d.instances) > 100
+
+    def test_ripple_adder_structure(self, lib):
+        d = bind_and_validate(ripple_adder_design(bits=4, lanes=1), lib)
+        # 4 FAs x 9 NANDs plus 2*4 input flops + cin flop + 4 output flops.
+        nands = [i for i in d.instances.values()
+                 if i.cell_name.startswith("NAND2")]
+        assert len(nands) == 36
+        assert len(d.sequential_instances(lib)) == 13
+
+    def test_tiny_design(self, lib):
+        d = bind_and_validate(tiny_design(), lib)
+        assert len(d.instances) == 5

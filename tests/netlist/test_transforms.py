@@ -1,0 +1,130 @@
+"""Tests for netlist transforms (the closure fix primitives)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty import make_library
+from repro.netlist.design import PinRef
+from repro.netlist.generators import tiny_design
+from repro.netlist.transforms import (
+    downsize,
+    insert_buffer,
+    resize,
+    set_ndr,
+    swap_cell,
+    swap_vt,
+    upsize,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture()
+def tiny(lib):
+    d = tiny_design()
+    d.bind(lib)
+    return d
+
+
+class TestSwap:
+    def test_swap_vt(self, lib, tiny):
+        edit = swap_vt(tiny, lib, "u1", "lvt")
+        assert edit is not None
+        assert tiny.instance("u1").cell_name == "NAND2_X1_LVT"
+        assert edit.kind == "swap"
+
+    def test_swap_vt_same_flavor_noop(self, lib, tiny):
+        assert swap_vt(tiny, lib, "u1", "svt") is None
+
+    def test_swap_vt_missing_variant(self, lib, tiny):
+        assert swap_vt(tiny, lib, "u1", "uhvt") is None
+
+    def test_swap_wrong_footprint_rejected(self, lib, tiny):
+        with pytest.raises(NetlistError, match="footprint"):
+            swap_cell(tiny, lib, "u1", "INV_X1_SVT")
+
+    def test_dont_touch_respected(self, lib, tiny):
+        tiny.instance("u1").dont_touch = True
+        with pytest.raises(NetlistError, match="dont_touch"):
+            swap_cell(tiny, lib, "u1", "NAND2_X2_SVT")
+
+
+class TestResize:
+    def test_resize(self, lib, tiny):
+        edit = resize(tiny, lib, "u2", 4.0)
+        assert tiny.instance("u2").cell_name == "INV_X4_SVT"
+        assert "INV_X1_SVT" in edit.before
+
+    def test_upsize_steps_one(self, lib, tiny):
+        upsize(tiny, lib, "u2")
+        assert tiny.instance("u2").cell_name == "INV_X2_SVT"
+
+    def test_upsize_at_max_returns_none(self, lib, tiny):
+        resize(tiny, lib, "u2", 8.0)
+        assert upsize(tiny, lib, "u2") is None
+
+    def test_downsize_steps_one(self, lib, tiny):
+        resize(tiny, lib, "u2", 4.0)
+        downsize(tiny, lib, "u2")
+        assert tiny.instance("u2").cell_name == "INV_X2_SVT"
+
+    def test_downsize_at_min_returns_none(self, lib, tiny):
+        resize(tiny, lib, "u2", 0.5)
+        assert downsize(tiny, lib, "u2") is None
+
+
+class TestBufferInsertion:
+    def test_buffer_all_loads(self, lib, tiny):
+        edit = insert_buffer(tiny, lib, "n1", "BUF_X2_SVT")
+        buf_name = edit.after
+        buf = tiny.instance(buf_name)
+        assert buf.cell_name == "BUF_X2_SVT"
+        # Original net now feeds only the buffer.
+        assert tiny.get_net("n1").loads == [PinRef(buf_name, "A")]
+        # u2 moved onto the new net.
+        new_net = buf.net_of("Z")
+        assert PinRef("u2", "A") in tiny.get_net(new_net).loads
+        assert tiny.instance("u2").net_of("A") == new_net
+        tiny.validate(lib)
+
+    def test_buffer_subset(self, lib):
+        d = tiny_design()
+        d.bind(lib)
+        # clk has three flop loads; split off two.
+        subset = [PinRef("ff0", "CK"), PinRef("ff1", "CK")]
+        insert_buffer(d, lib, "clk", "BUF_X4_SVT", load_subset=subset)
+        assert d.get_net("clk").fanout == 2  # remaining flop + buffer input
+        d.validate(lib)
+
+    def test_buffer_placed_at_centroid(self, lib, tiny):
+        edit = insert_buffer(tiny, lib, "n1", "BUF_X1_SVT")
+        loc = tiny.instance(edit.after).location
+        assert loc == (12.0, 1.4)  # centroid of u2's location
+
+    def test_buffer_undriven_net_rejected(self, lib, tiny):
+        tiny.get_net("n1").driver = None
+        with pytest.raises(NetlistError, match="undriven"):
+            insert_buffer(tiny, lib, "n1", "BUF_X1_SVT")
+
+    def test_buffer_non_buffer_cell_rejected(self, lib, tiny):
+        with pytest.raises(NetlistError, match="not a buffer"):
+            insert_buffer(tiny, lib, "n1", "INV_X1_SVT")
+
+    def test_buffer_bad_subset_rejected(self, lib, tiny):
+        with pytest.raises(NetlistError, match="not a load"):
+            insert_buffer(tiny, lib, "n1", "BUF_X1_SVT",
+                          load_subset=[PinRef("ff0", "CK")])
+
+
+class TestNdr:
+    def test_set_ndr(self, tiny):
+        edit = set_ndr(tiny, "n1")
+        assert tiny.get_net("n1").ndr
+        assert edit.kind == "ndr"
+
+    def test_edit_str(self, tiny):
+        edit = set_ndr(tiny, "n1")
+        assert "ndr" in str(edit)

@@ -1,0 +1,124 @@
+"""Tests for RC trees and moment-based delay metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.parasitics.rctree import RCTree
+
+
+def chain_tree(rs, cs):
+    tree = RCTree()
+    prev = tree.root
+    for i, (r, c) in enumerate(zip(rs, cs)):
+        prev = tree.add_node(f"n{i}", prev, r, c)
+    return tree
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        tree = RCTree()
+        tree.add_node("a", tree.root, 1.0, 1.0)
+        with pytest.raises(ReproError):
+            tree.add_node("a", tree.root, 1.0, 1.0)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ReproError):
+            RCTree().add_node("a", "missing", 1.0, 1.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ReproError):
+            RCTree().add_node("a", "root", -1.0, 1.0)
+
+    def test_add_cap(self):
+        tree = chain_tree([1.0], [1.0])
+        tree.add_cap("n0", 2.0)
+        assert tree.total_cap() == pytest.approx(3.0)
+
+    def test_add_cap_unknown_node(self):
+        with pytest.raises(ReproError):
+            chain_tree([1.0], [1.0]).add_cap("zzz", 1.0)
+
+
+class TestElmore:
+    def test_single_segment(self):
+        tree = chain_tree([2.0], [3.0])
+        assert tree.elmore("n0") == pytest.approx(6.0)
+
+    def test_two_segment_chain(self):
+        # R1=1,C1=1; R2=1,C2=1: elmore(n1) = 1*(1+1) + 1*1 = 3.
+        tree = chain_tree([1.0, 1.0], [1.0, 1.0])
+        assert tree.elmore("n1") == pytest.approx(3.0)
+
+    def test_branch_isolation(self):
+        """Caps on a sibling branch count only through shared resistance."""
+        tree = RCTree()
+        tree.add_node("trunk", "root", 1.0, 0.0)
+        tree.add_node("s1", "trunk", 1.0, 1.0)
+        tree.add_node("s2", "trunk", 1.0, 5.0)
+        # elmore(s1) = R_trunk*(1+5) + R_s1*1 = 7.
+        assert tree.elmore("s1") == pytest.approx(7.0)
+
+    def test_unknown_sink_raises(self):
+        with pytest.raises(ReproError):
+            chain_tree([1.0], [1.0]).elmore("zzz")
+
+    @given(
+        rs=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=6),
+        cs=st.lists(st.floats(0.01, 5.0), min_size=6, max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elmore_nonnegative_and_monotone_in_r(self, rs, cs):
+        cs = cs[: len(rs)]
+        tree = chain_tree(rs, cs)
+        sink = f"n{len(rs) - 1}"
+        base = tree.elmore(sink)
+        assert base >= 0.0
+        bigger = chain_tree([r * 2 for r in rs], cs)
+        assert bigger.elmore(sink) >= base
+
+    @given(extra=st.floats(0.0, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_elmore_monotone_in_cap(self, extra):
+        base = chain_tree([1.0, 1.0], [1.0, 1.0])
+        loaded = chain_tree([1.0, 1.0], [1.0, 1.0])
+        loaded.add_cap("n1", extra)
+        assert loaded.elmore("n1") >= base.elmore("n1")
+
+
+class TestD2M:
+    def test_d2m_close_to_elmore_for_lumped(self):
+        """Single-lump RC: D2M = ln2*m1^2/sqrt(m2) with m2 = R^2 C^2
+        gives ln2 * m1 — the exact 50% point of the exponential."""
+        tree = chain_tree([2.0], [3.0])
+        m1 = tree.elmore("n0")
+        assert tree.d2m("n0") == pytest.approx(0.6931 * m1, rel=1e-3)
+
+    def test_d2m_at_most_elmore_on_chains(self):
+        tree = chain_tree([1.0] * 5, [1.0] * 5)
+        assert tree.d2m("n4") <= tree.elmore("n4")
+
+    def test_d2m_positive(self):
+        tree = chain_tree([0.5, 0.5, 0.5], [1.0, 2.0, 0.5])
+        assert tree.d2m("n2") > 0.0
+
+
+class TestPiModel:
+    def test_total_cap_preserved(self):
+        tree = chain_tree([1.0, 1.0], [2.0, 3.0])
+        c_near, r, c_far = tree.pi_model()
+        assert c_near + c_far == pytest.approx(tree.total_cap())
+
+    def test_resistive_shielding(self):
+        """More wire resistance shields more cap behind the pi R."""
+        light = chain_tree([0.1, 0.1], [2.0, 3.0])
+        heavy = chain_tree([5.0, 5.0], [2.0, 3.0])
+        assert heavy.pi_model()[1] > light.pi_model()[1]
+
+    def test_cap_only_tree(self):
+        tree = RCTree()
+        tree.add_node("a", "root", 0.0, 4.0)
+        c_near, r, c_far = tree.pi_model()
+        assert c_near + c_far == pytest.approx(4.0)
+        assert r == pytest.approx(0.0)

@@ -1,0 +1,155 @@
+"""Tests for parasitic synthesis and SPEF-lite round-trip."""
+
+import pytest
+
+from repro.beol.corners import conventional_corners
+from repro.beol.stack import default_stack
+from repro.liberty import make_library
+from repro.netlist.design import PinRef
+from repro.netlist.generators import tiny_design
+from repro.netlist.transforms import set_ndr
+from repro.parasitics.spef import parse_spef, write_spef
+from repro.parasitics.synthesis import ParasiticExtractor
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return default_stack()
+
+
+@pytest.fixture(scope="module")
+def corners(stack):
+    return conventional_corners(stack)
+
+
+@pytest.fixture()
+def extractor(lib, stack, corners):
+    d = tiny_design()
+    d.bind(lib)
+    return ParasiticExtractor(d, lib, stack, corners["typ"])
+
+
+class TestExtraction:
+    def test_wire_cap_positive(self, extractor):
+        para = extractor.extract("n1")
+        assert para.wire_cap > 0.0
+        assert para.coupling_cap > 0.0
+
+    def test_cache_and_invalidate(self, extractor):
+        a = extractor.extract("n1")
+        assert extractor.extract("n1") is a
+        extractor.invalidate("n1")
+        assert extractor.extract("n1") is not a
+
+    def test_sink_resistances_assigned(self, extractor):
+        para = extractor.extract("clk")
+        assert len(para.sink_resistance) == 3
+        assert all(r > 0 for r in para.sink_resistance.values())
+
+    def test_wire_delay_positive_and_monotone_in_pin_cap(self, extractor):
+        para = extractor.extract("n1")
+        sink = PinRef("u2", "A")
+        d_small = para.wire_delay(sink, 1.0)
+        d_large = para.wire_delay(sink, 5.0)
+        assert 0.0 < d_small < d_large
+
+    def test_slew_degradation_twice_delay(self, extractor):
+        para = extractor.extract("n1")
+        sink = PinRef("u2", "A")
+        assert para.slew_degradation(sink, 2.0) == pytest.approx(
+            2.0 * para.wire_delay(sink, 2.0)
+        )
+
+    def test_driver_load_includes_pins(self, extractor):
+        para = extractor.extract("n1")
+        pins = extractor.pin_caps_total("n1")
+        assert para.driver_load(pins) == pytest.approx(para.wire_cap + pins)
+        assert pins > 0.0
+
+    def test_net_length_uses_hpwl(self, extractor):
+        para = extractor.extract("n1")  # u1 (6,1.4) -> u2 (12,1.4), HPWL 6
+        assert para.length >= 6.0
+
+
+class TestCornerEffects:
+    def test_cw_corner_raises_cap(self, lib, stack, corners):
+        d = tiny_design()
+        d.bind(lib)
+        typ = ParasiticExtractor(d, lib, stack, corners["typ"]).extract("n1")
+        cw = ParasiticExtractor(d, lib, stack, corners["cw"]).extract("n1")
+        assert cw.wire_cap > typ.wire_cap
+
+    def test_rcw_corner_raises_resistance(self, lib, stack, corners):
+        d = tiny_design()
+        d.bind(lib)
+        typ = ParasiticExtractor(d, lib, stack, corners["typ"]).extract("n1")
+        rcw = ParasiticExtractor(d, lib, stack, corners["rcw"]).extract("n1")
+        sink = PinRef("u2", "A")
+        assert rcw.sink_resistance[sink] > typ.sink_resistance[sink]
+
+    def test_temperature_raises_resistance(self, lib, stack, corners):
+        d = tiny_design()
+        d.bind(lib)
+        cold = ParasiticExtractor(d, lib, stack, corners["typ"], temp_c=-30.0)
+        hot = ParasiticExtractor(d, lib, stack, corners["typ"], temp_c=125.0)
+        sink = PinRef("u2", "A")
+        assert hot.extract("n1").sink_resistance[sink] > \
+            cold.extract("n1").sink_resistance[sink]
+
+    def test_ndr_lowers_resistance_and_coupling(self, lib, stack, corners):
+        d = tiny_design()
+        d.bind(lib)
+        base = ParasiticExtractor(d, lib, stack, corners["typ"]).extract("n1")
+        set_ndr(d, "n1")
+        ndr = ParasiticExtractor(d, lib, stack, corners["typ"]).extract("n1")
+        sink = PinRef("u2", "A")
+        assert ndr.sink_resistance[sink] < base.sink_resistance[sink]
+        assert ndr.coupling_cap < base.coupling_cap
+
+
+class TestRcTreeExport:
+    def test_rc_tree_total_cap_close_to_star(self, extractor):
+        tree = extractor.rc_tree("n1")
+        para = extractor.extract("n1")
+        pin = extractor.pin_caps_total("n1")
+        # Tree carries wire ground+coupling/2 caps plus pin caps.
+        assert tree.total_cap() == pytest.approx(pin, rel=1.0, abs=para.wire_cap)
+
+    def test_rc_tree_elmore_positive(self, extractor):
+        tree = extractor.rc_tree("clk")
+        sinks = [n for n in tree.nodes if n.startswith("sink:")]
+        assert sinks
+        assert all(tree.elmore(s) > 0 for s in sinks)
+
+
+class TestSpefRoundTrip:
+    def test_round_trip(self, extractor):
+        parasitics = extractor.extract_all()
+        text = write_spef("tiny", "typ", parasitics)
+        back = parse_spef(text)
+        assert set(back) == set(parasitics)
+        orig = parasitics["n1"]
+        rt = back["n1"]
+        assert rt.wire_cap == pytest.approx(orig.wire_cap)
+        assert rt.layer_name == orig.layer_name
+        assert rt.length == pytest.approx(orig.length)
+        assert rt.coupling_cap == pytest.approx(orig.coupling_cap)
+        for sink, r in orig.sink_resistance.items():
+            assert rt.sink_resistance[sink] == pytest.approx(r)
+
+    def test_malformed_line_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            parse_spef("*D_NET n1\n")
+
+    def test_unknown_tag_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            parse_spef("*WHAT 1 2\n")

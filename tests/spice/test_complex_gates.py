@@ -1,0 +1,70 @@
+"""Transistor-level truth-table checks for the complex gates (AOI/OAI).
+
+Outputs are read from a settled transient rather than a DC solve: fully-
+off series stacks leave internal nodes floating, which defeats DC Newton
+but settles physically through the node capacitances.
+"""
+
+import itertools
+
+import pytest
+
+from repro.spice.gates import add_aoi21, add_nand, add_nor, add_oai21
+from repro.spice.network import Circuit
+from repro.spice.stimulus import Constant
+from repro.spice.transient import simulate
+
+VDD = 0.8
+
+
+def dc_output(builder, values, **kwargs):
+    """Settled output of a gate with inputs held at logic levels."""
+    ckt = Circuit("truth_tb")
+    vdd = ckt.add_vdd(VDD)
+    names = [f"in{i}" for i in range(len(values))]
+    if builder in (add_aoi21, add_oai21):
+        builder(ckt, "dut", *names, "out", vdd_node=vdd, **kwargs)
+    else:
+        builder(ckt, "dut", names, "out", vdd_node=vdd, **kwargs)
+    for name, value in zip(names, values):
+        ckt.add_source(name, Constant(VDD if value else 0.0))
+    result = simulate(ckt, t_stop=300.0, dt=1.0, record=["out"])
+    return result.final("out")
+
+
+def logic(level: float) -> int:
+    assert level < 0.1 * VDD or level > 0.9 * VDD, \
+        f"ambiguous DC level {level}"
+    return 1 if level > 0.5 * VDD else 0
+
+
+class TestAoi21:
+    @pytest.mark.parametrize("a1,a2,b", list(itertools.product([0, 1],
+                                                               repeat=3)))
+    def test_truth_table(self, a1, a2, b):
+        out = dc_output(add_aoi21, (a1, a2, b))
+        expected = 0 if ((a1 and a2) or b) else 1
+        assert logic(out) == expected
+
+
+class TestOai21:
+    @pytest.mark.parametrize("a1,a2,b", list(itertools.product([0, 1],
+                                                               repeat=3)))
+    def test_truth_table(self, a1, a2, b):
+        out = dc_output(add_oai21, (a1, a2, b))
+        expected = 0 if ((a1 or a2) and b) else 1
+        assert logic(out) == expected
+
+
+class TestNand3Nor3:
+    @pytest.mark.parametrize("bits", list(itertools.product([0, 1],
+                                                            repeat=3)))
+    def test_nand3(self, bits):
+        out = dc_output(add_nand, bits)
+        assert logic(out) == (0 if all(bits) else 1)
+
+    @pytest.mark.parametrize("bits", list(itertools.product([0, 1],
+                                                            repeat=3)))
+    def test_nor3(self, bits):
+        out = dc_output(add_nor, bits)
+        assert logic(out) == (0 if any(bits) else 1)

@@ -1,0 +1,102 @@
+"""Tests for waveform measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice.measure import (
+    crossing_time,
+    delay_between,
+    ramp_duration_to_slew,
+    slew_to_ramp_duration,
+    transition_time,
+)
+
+
+def ramp_wave(t0, t1, v0, v1, t_stop=100.0, dt=0.1):
+    times = np.arange(0.0, t_stop, dt)
+    frac = np.clip((times - t0) / (t1 - t0), 0.0, 1.0)
+    return times, v0 + frac * (v1 - v0)
+
+
+class TestCrossingTime:
+    def test_simple_rise(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        assert crossing_time(t, v, 0.5, "rise") == pytest.approx(15.0, abs=0.1)
+
+    def test_simple_fall(self):
+        t, v = ramp_wave(10.0, 20.0, 1.0, 0.0)
+        assert crossing_time(t, v, 0.5, "fall") == pytest.approx(15.0, abs=0.1)
+
+    def test_direction_filter(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        assert crossing_time(t, v, 0.5, "fall") is None
+
+    def test_after_parameter(self):
+        times = np.arange(0.0, 100.0, 0.1)
+        v = np.where((times > 20) & (times < 40), 1.0, 0.0)
+        first = crossing_time(times, v, 0.5, "rise")
+        assert first == pytest.approx(20.0, abs=0.2)
+        assert crossing_time(times, v, 0.5, "rise", after=25.0) is None
+
+    def test_nth_crossing(self):
+        times = np.arange(0.0, 100.0, 0.1)
+        v = ((times // 10) % 2).astype(float)  # square wave
+        t2 = crossing_time(times, v, 0.5, "rise", nth=2)
+        assert t2 == pytest.approx(30.0, abs=0.2)
+
+    def test_never_crosses(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 0.4)
+        assert crossing_time(t, v, 0.5, "rise") is None
+
+    def test_bad_direction(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            crossing_time(t, v, 0.5, "up")
+
+
+class TestDelayBetween:
+    def test_delay_between_ramps(self):
+        t = np.arange(0.0, 100.0, 0.1)
+        _, vin = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        _, vout = ramp_wave(25.0, 35.0, 1.0, 0.0)
+        d = delay_between(t, vin, vout, vdd=1.0, in_direction="rise",
+                          out_direction="fall")
+        assert d == pytest.approx(15.0, abs=0.2)
+
+    def test_missing_output_raises(self):
+        t, vin = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        vout = np.zeros_like(vin)
+        with pytest.raises(SimulationError, match="output never crossed"):
+            delay_between(t, vin, vout, 1.0, "rise", "fall")
+
+    def test_missing_input_raises(self):
+        t, _ = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        flat = np.zeros_like(t)
+        with pytest.raises(SimulationError, match="input never crossed"):
+            delay_between(t, flat, flat, 1.0, "rise", "fall")
+
+
+class TestTransitionTime:
+    def test_linear_ramp_slew(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 1.0)
+        # 20% -> 80% of a 10 ps full ramp is 6 ps.
+        assert transition_time(t, v, 1.0, "rise") == pytest.approx(6.0, abs=0.1)
+
+    def test_falling_slew(self):
+        t, v = ramp_wave(10.0, 20.0, 1.0, 0.0)
+        assert transition_time(t, v, 1.0, "fall") == pytest.approx(6.0, abs=0.1)
+
+    def test_incomplete_transition_raises(self):
+        t, v = ramp_wave(10.0, 20.0, 0.0, 0.5)
+        with pytest.raises(SimulationError):
+            transition_time(t, v, 1.0, "rise")
+
+
+class TestSlewConversions:
+    def test_round_trip(self):
+        assert ramp_duration_to_slew(slew_to_ramp_duration(12.0)) == pytest.approx(12.0)
+
+    def test_default_thresholds(self):
+        # 20-80% of a full ramp covers 60% of its duration.
+        assert slew_to_ramp_duration(6.0) == pytest.approx(10.0)

@@ -1,0 +1,97 @@
+"""Tests for stimulus waveforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.stimulus import Constant, PiecewiseLinear, Pulse, Ramp
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        w = Constant(0.8)
+        assert w.value(-100.0) == 0.8
+        assert w.value(0.0) == 0.8
+        assert w.value(1e9) == 0.8
+
+
+class TestRamp:
+    def test_before_start(self):
+        w = Ramp(10.0, 20.0, 0.0, 1.0)
+        assert w.value(5.0) == 0.0
+
+    def test_after_end(self):
+        w = Ramp(10.0, 20.0, 0.0, 1.0)
+        assert w.value(31.0) == 1.0
+
+    def test_midpoint(self):
+        w = Ramp(10.0, 20.0, 0.0, 1.0)
+        assert w.value(20.0) == pytest.approx(0.5)
+
+    def test_falling(self):
+        w = Ramp(0.0, 10.0, 1.0, 0.0)
+        assert w.value(5.0) == pytest.approx(0.5)
+
+    @given(t=st.floats(-1e3, 1e3))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_endpoints(self, t):
+        w = Ramp(0.0, 50.0, 0.2, 0.9)
+        assert 0.2 <= w.value(t) <= 0.9
+
+
+class TestPulse:
+    def test_low_before_start(self):
+        w = Pulse(t_start=100.0, period=100.0, width=40.0, v_low=0.0, v_high=1.0)
+        assert w.value(0.0) == 0.0
+
+    def test_high_mid_pulse(self):
+        w = Pulse(t_start=0.0, period=100.0, width=40.0, v_low=0.0, v_high=1.0,
+                  edge=5.0)
+        assert w.value(20.0) == 1.0
+
+    def test_low_after_pulse(self):
+        w = Pulse(t_start=0.0, period=100.0, width=40.0, v_low=0.0, v_high=1.0,
+                  edge=5.0)
+        assert w.value(80.0) == 0.0
+
+    def test_periodicity(self):
+        w = Pulse(t_start=0.0, period=100.0, width=40.0, v_low=0.0, v_high=1.0,
+                  edge=5.0)
+        assert w.value(20.0) == w.value(120.0) == w.value(1020.0)
+
+    def test_edges_are_finite_ramps(self):
+        w = Pulse(t_start=0.0, period=100.0, width=40.0, v_low=0.0, v_high=1.0,
+                  edge=10.0)
+        assert 0.0 < w.value(5.0) < 1.0
+
+
+class TestPiecewiseLinear:
+    def test_holds_first_value(self):
+        w = PiecewiseLinear([10.0, 20.0], [0.5, 1.0])
+        assert w.value(0.0) == 0.5
+
+    def test_holds_last_value(self):
+        w = PiecewiseLinear([10.0, 20.0], [0.5, 1.0])
+        assert w.value(100.0) == 1.0
+
+    def test_interpolates(self):
+        w = PiecewiseLinear([0.0, 10.0, 20.0], [0.0, 1.0, 0.0])
+        assert w.value(5.0) == pytest.approx(0.5)
+        assert w.value(15.0) == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 1.0], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([], [])
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 0.0], [0.0, 1.0])
+
+    def test_single_breakpoint(self):
+        w = PiecewiseLinear([5.0], [0.7])
+        assert w.value(0.0) == 0.7
+        assert w.value(10.0) == 0.7

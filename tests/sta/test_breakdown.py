@@ -1,0 +1,76 @@
+"""Tests for endpoint categorization and the Fig 1 failure breakdown."""
+
+import pytest
+
+from repro.liberty import make_library
+from repro.netlist.design import PinRef
+from repro.netlist.generators import random_logic, tiny_design
+from repro.sta import STA, Constraints
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="module")
+def tight_sta(lib):
+    """A design failing setup (reg2reg) and hold (in2reg) at once."""
+    d = random_logic(n_gates=200, n_levels=8, seed=3)
+    sta = STA(d, lib, Constraints.single_clock(460.0))
+    sta.report = sta.run()
+    return sta
+
+
+class TestCategories:
+    def test_flop_to_flop_is_reg2reg(self, lib):
+        sta = STA(tiny_design(), lib, Constraints.single_clock(500.0))
+        report = sta.run()
+        ff2 = next(e for e in report.setup
+                   if e.endpoint == PinRef("ff2", "D"))
+        assert ff2.category == "reg2reg"
+        assert ff2.startpoint == PinRef("", "clk")
+        assert ff2.launched_from_clock
+
+    def test_port_fed_is_in2reg(self, lib):
+        sta = STA(tiny_design(), lib, Constraints.single_clock(500.0))
+        report = sta.run()
+        ff0 = next(e for e in report.setup
+                   if e.endpoint == PinRef("ff0", "D"))
+        assert ff0.category == "in2reg"
+        assert not ff0.launched_from_clock
+
+    def test_output_port_is_reg2out(self, lib):
+        sta = STA(tiny_design(), lib, Constraints.single_clock(500.0))
+        report = sta.run()
+        out_ep = next(e for e in report.setup if e.kind == "output")
+        assert out_ep.category == "reg2out"
+
+    def test_unknown_without_annotation(self):
+        from repro.sta.reports import EndpointResult
+
+        bare = EndpointResult(endpoint=PinRef("x", "D"), kind="setup",
+                              slack=0.0, arrival=0.0, required=0.0)
+        assert bare.category == "unknown"
+
+
+class TestBreakdown:
+    def test_setup_breakdown_is_reg2reg_dominated(self, tight_sta):
+        breakdown = tight_sta.report.violation_breakdown("setup")
+        assert breakdown.get("reg2reg", 0) > 0
+        assert sum(v for k, v in breakdown.items() if k != "slew") == \
+            tight_sta.report.violation_count("setup")
+
+    def test_hold_breakdown_is_port_dominated(self, tight_sta):
+        """The hold failures of unconstrained-input designs come from
+        ports racing the clock."""
+        breakdown = tight_sta.report.violation_breakdown("hold")
+        assert breakdown.get("in2reg", 0) > 0
+        assert breakdown.get("reg2reg", 0) == 0
+
+    def test_clean_design_has_empty_breakdown(self, lib):
+        c = Constraints.single_clock(900.0)
+        c.input_delays = {"in0": 60.0, "in1": 60.0}
+        report = STA(tiny_design(), lib, c).run()
+        assert report.violation_breakdown("setup") == {}
+        assert report.violation_breakdown("hold") == {}

@@ -1,0 +1,149 @@
+"""Tests for constraints and MCMM scenario management."""
+
+import pytest
+
+from repro.errors import ConstraintError, TimingError
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import tiny_design
+from repro.sta.constraints import ClockSpec, Constraints
+from repro.sta.mcmm import Scenario, ScenarioSet, standard_scenario_set
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return {
+        "tt": make_library(LibraryCondition(process="tt")),
+        "ss": make_library(LibraryCondition(process="ss", vdd=0.72,
+                                            temp_c=125.0)),
+        "ff": make_library(LibraryCondition(process="ff", vdd=0.88,
+                                            temp_c=-30.0)),
+    }
+
+
+class TestConstraints:
+    def test_single_clock(self):
+        c = Constraints.single_clock(500.0)
+        assert c.the_clock().period == 500.0
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ConstraintError):
+            ClockSpec(name="c", period=0.0)
+
+    def test_the_clock_requires_exactly_one(self):
+        c = Constraints()
+        with pytest.raises(ConstraintError):
+            c.the_clock()
+        c.clocks["a"] = ClockSpec("a", 100.0)
+        c.clocks["b"] = ClockSpec("b", 200.0)
+        with pytest.raises(ConstraintError):
+            c.the_clock()
+
+    def test_clock_for_port(self):
+        c = Constraints.single_clock(500.0, port="clk")
+        assert c.clock_for_port("clk").name == "clk"
+        assert c.clock_for_port("other") is None
+
+    def test_with_period_copies(self):
+        c = Constraints.single_clock(500.0)
+        c.input_delays["in0"] = 10.0
+        c2 = c.with_period(300.0)
+        assert c2.the_clock().period == 300.0
+        assert c.the_clock().period == 500.0
+        assert c2.input_delays == {"in0": 10.0}
+
+
+class TestScenarios:
+    def test_scenario_run(self, libs):
+        s = Scenario("tt", libs["tt"], Constraints.single_clock(500.0))
+        report = s.run(tiny_design(), __import__(
+            "repro.beol.stack", fromlist=["default_stack"]
+        ).default_stack())
+        assert report.scenario == "tt"
+
+    def test_unique_names_required(self, libs):
+        c = Constraints.single_clock(500.0)
+        with pytest.raises(TimingError):
+            ScenarioSet([
+                Scenario("x", libs["tt"], c),
+                Scenario("x", libs["ss"], c),
+            ])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(TimingError):
+            ScenarioSet([])
+
+    def test_mcmm_merged_wns_is_min(self, libs):
+        c = Constraints.single_clock(500.0)
+        sset = ScenarioSet([
+            Scenario("tt", libs["tt"], c, beol_corner_name="typ"),
+            Scenario("ss", libs["ss"], c, beol_corner_name="cw",
+                     temp_c=125.0),
+        ])
+        result = sset.run(tiny_design())
+        wns_each = [r.wns("setup") for r in result.reports.values()]
+        assert result.merged_wns("setup") == min(wns_each)
+
+    def test_slow_scenario_is_worst(self, libs):
+        c = Constraints.single_clock(500.0)
+        sset = ScenarioSet([
+            Scenario("tt", libs["tt"], c),
+            Scenario("ss", libs["ss"], c, beol_corner_name="cw",
+                     temp_c=125.0),
+        ])
+        result = sset.run(tiny_design())
+        assert result.worst_scenario("setup") == "ss"
+
+    def test_endpoint_matrix_complete(self, libs):
+        c = Constraints.single_clock(500.0)
+        sset = ScenarioSet([
+            Scenario("tt", libs["tt"], c),
+            Scenario("ss", libs["ss"], c, temp_c=125.0),
+        ])
+        result = sset.run(tiny_design())
+        matrix = result.endpoint_matrix("setup")
+        assert matrix
+        for row in matrix.values():
+            assert set(row) == {"tt", "ss"}
+
+    def test_prune_drops_dominated_fast_scenario(self, libs):
+        """TT is dominated by SS (slower at every endpoint), so pruning
+        keeps SS and drops TT."""
+        c = Constraints.single_clock(500.0)
+        sset = ScenarioSet([
+            Scenario("tt", libs["tt"], c),
+            Scenario("ss", libs["ss"], c, beol_corner_name="cw",
+                     temp_c=125.0),
+        ])
+        reduced, dropped = sset.prune(tiny_design(), guard_margin=1.0)
+        assert dropped == ["tt"]
+        assert [s.name for s in reduced.scenarios] == ["ss"]
+
+    def test_prune_keeps_non_dominated(self, libs):
+        """Setup-slow (ss) and hold-fast (ff) scenarios both survive a
+        setup+hold-aware workflow; in setup mode ff is dominated."""
+        c = Constraints.single_clock(500.0)
+        sset = ScenarioSet([
+            Scenario("ss", libs["ss"], c, beol_corner_name="cw",
+                     temp_c=125.0),
+            Scenario("ff", libs["ff"], c, beol_corner_name="cb",
+                     temp_c=-30.0),
+        ])
+        reduced, dropped = sset.prune(tiny_design(), guard_margin=1.0,
+                                      mode="hold")
+        # In hold mode the fast scenario is the pessimistic one.
+        assert "ff" in [s.name for s in reduced.scenarios]
+
+    def test_standard_scenario_set(self):
+        def factory(process, vdd, temp):
+            return make_library(
+                LibraryCondition(process=process, vdd=vdd, temp_c=temp),
+                flavors=("svt",),
+            )
+
+        sset = standard_scenario_set(
+            Constraints.single_clock(500.0), factory,
+            corners=[("tt", 0.8, 25.0, "typ"), ("ss", 0.72, 125.0, "cw")],
+        )
+        assert len(sset.scenarios) == 2
+        result = sset.run(tiny_design())
+        assert len(result.reports) == 2

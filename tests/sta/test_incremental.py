@@ -1,0 +1,133 @@
+"""Tests for the incremental timer: correctness vs full rebuild, speed."""
+
+import time
+
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.netlist.transforms import swap_vt, upsize
+from repro.sta import STA, Constraints
+from repro.sta.incremental import IncrementalTimer
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+def fresh_setup(lib, n_gates=300, seed=7):
+    design = random_logic(n_gates=n_gates, n_levels=10, seed=seed)
+    constraints = Constraints.single_clock(520.0)
+    constraints.input_delays = {f"in{i}": 60.0 for i in range(32)}
+    sta = STA(design, lib, constraints)
+    sta.report = sta.run()
+    return design, sta
+
+
+def slack_map(report, mode="setup"):
+    return {e.endpoint: e.slack for e in report.endpoints(mode)}
+
+
+class TestCorrectness:
+    def test_requires_prior_run(self, lib):
+        design = random_logic(n_gates=60, n_levels=4, seed=2)
+        sta = STA(design, lib, Constraints.single_clock(500.0))
+        with pytest.raises(TimingError):
+            IncrementalTimer(sta)
+
+    @pytest.mark.parametrize("edit_count", [1, 5])
+    def test_incremental_matches_full_rebuild(self, lib, edit_count):
+        design, sta = fresh_setup(lib)
+        timer = IncrementalTimer(sta)
+        # Edit cells on the worst path (the consequential case).
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        edited = []
+        for point in path.points:
+            if point.kind == "cell" and not point.ref.is_port and \
+                    len(edited) < edit_count:
+                name = point.ref.instance
+                if swap_vt(design, lib, name, "lvt") or \
+                        upsize(design, lib, name):
+                    edited.append(name)
+        assert edited
+        incremental = timer.update_cells(edited)
+
+        reference = STA(design, lib, sta.constraints).run()
+        inc_slacks = slack_map(incremental)
+        ref_slacks = slack_map(reference)
+        assert set(inc_slacks) == set(ref_slacks)
+        for endpoint, slack in ref_slacks.items():
+            assert inc_slacks[endpoint] == pytest.approx(slack, abs=0.01)
+
+    def test_hold_slacks_match_too(self, lib):
+        design, sta = fresh_setup(lib)
+        timer = IncrementalTimer(sta)
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        upsize(design, lib, name)
+        incremental = timer.update_cells([name])
+        reference = STA(design, lib, sta.constraints).run()
+        for endpoint, slack in slack_map(reference, "hold").items():
+            assert slack_map(incremental, "hold")[endpoint] == \
+                pytest.approx(slack, abs=0.01)
+
+    def test_paths_still_reconstructible(self, lib):
+        design, sta = fresh_setup(lib)
+        timer = IncrementalTimer(sta)
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        name = next(p.ref.instance for p in path.points
+                    if p.kind == "cell" and not p.ref.is_port)
+        swap_vt(design, lib, name, "lvt")
+        report = timer.update_cells([name])
+        new_worst = report.worst("setup")
+        new_path = sta.worst_path(new_worst)
+        assert new_path.points  # backpointers intact after the update
+
+    def test_full_update_counter(self, lib):
+        design, sta = fresh_setup(lib, n_gates=80)
+        timer = IncrementalTimer(sta)
+        timer.full_update()
+        assert timer.full_updates == 1
+
+
+class TestEfficiency:
+    def test_cone_smaller_than_design(self, lib):
+        design, sta = fresh_setup(lib)
+        timer = IncrementalTimer(sta)
+        # A cell near the capture flops has a tiny downstream cone.
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        last_cell = [p for p in path.points
+                     if p.kind == "cell" and not p.ref.is_port][-1]
+        name = last_cell.ref.instance
+        if not swap_vt(design, lib, name, "lvt"):
+            upsize(design, lib, name)
+        timer.update_cells([name])
+        assert 0 < timer.last_cone_size < \
+            0.5 * len(sta.graph.topo_order)
+
+    def test_incremental_faster_than_rebuild(self, lib):
+        design, sta = fresh_setup(lib, n_gates=600, seed=9)
+        timer = IncrementalTimer(sta)
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        last_cell = [p for p in path.points
+                     if p.kind == "cell" and not p.ref.is_port][-1]
+        name = last_cell.ref.instance
+        swap_vt(design, lib, name, "lvt")
+
+        t0 = time.perf_counter()
+        timer.update_cells([name])
+        incremental_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        STA(design, lib, sta.constraints).run()
+        full_time = time.perf_counter() - t0
+        # Conservative bound: the cone update must clearly beat a rebuild.
+        assert incremental_time < full_time

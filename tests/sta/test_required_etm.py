@@ -1,0 +1,181 @@
+"""Tests for backward required times, pin slacks and ETM extraction."""
+
+import math
+
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.design import PinRef
+from repro.netlist.generators import random_logic, tiny_design
+from repro.sta import STA, Constraints
+from repro.sta.etm import extract_etm, render_etm
+from repro.sta.required import (
+    instance_slacks,
+    pin_slack,
+    required_times,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="module")
+def sta(lib):
+    d = random_logic(n_gates=150, n_levels=8, seed=7)
+    sta = STA(d, lib, Constraints.single_clock(500.0))
+    sta.report = sta.run()
+    return sta
+
+
+class TestRequiredTimes:
+    def test_requires_run(self, lib):
+        fresh = STA(tiny_design(), lib, Constraints.single_clock(500.0))
+        with pytest.raises(TimingError):
+            required_times(fresh)
+
+    def test_bad_mode_rejected(self, sta):
+        with pytest.raises(TimingError):
+            required_times(sta, "typ")
+
+    def test_endpoint_pin_slack_matches_report(self, sta):
+        """Slack from the backward pass must equal the report's endpoint
+        slack at every setup endpoint."""
+        req = required_times(sta, "late")
+        for e in sta.report.endpoints("setup"):
+            if e.kind != "setup":
+                continue
+            assert pin_slack(sta, req, e.endpoint, "late") == pytest.approx(
+                e.slack, abs=0.01
+            )
+
+    def test_hold_pin_slack_matches_report(self, sta):
+        req = required_times(sta, "early")
+        for e in sta.report.endpoints("hold")[:10]:
+            assert pin_slack(sta, req, e.endpoint, "early") == pytest.approx(
+                e.slack, abs=0.01
+            )
+
+    def test_slack_never_increases_downstream_of_worst_path(self, sta):
+        """Every pin on the worst path carries the worst slack."""
+        worst = sta.report.worst("setup")
+        req = required_times(sta, "late")
+        path = sta.worst_path(worst)
+        for point in path.points:
+            if point.ref.is_port:
+                continue
+            slack = pin_slack(sta, req, point.ref, "late")
+            assert slack <= worst.slack + 0.5
+
+    def test_instance_slacks_cover_design(self, sta):
+        slacks = instance_slacks(sta, "late")
+        assert set(slacks) == set(sta.design.instances)
+
+    def test_instance_slacks_identify_critical_cells(self, sta):
+        slacks = instance_slacks(sta, "late")
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        for point in path.points:
+            if point.kind == "cell" and not point.ref.is_port:
+                assert slacks[point.ref.instance] == pytest.approx(
+                    worst.slack, abs=0.5
+                )
+
+
+class TestEtm:
+    @pytest.fixture(scope="class")
+    def etm(self, sta):
+        return extract_etm(sta)
+
+    def test_ports_extracted(self, sta, etm):
+        data_inputs = [p for p in sta.design.input_ports() if p != "clk"]
+        assert set(etm.input_ports()) == set(data_inputs)
+        assert set(etm.output_ports()) == set(sta.design.output_ports())
+
+    def test_input_caps_positive(self, etm):
+        for port in etm.input_ports():
+            assert etm.ports[port].input_cap > 0.0
+
+    def test_setup_budget_matches_flat_analysis(self, sta, lib, etm):
+        """Shifting one port's top-level arrival must shift the flat slack
+        of port-fed endpoints exactly as the ETM predicts."""
+        port = etm.input_ports()[0]
+        budget = etm.ports[port].setup_budget
+        # Flat run with that port delayed by (budget - 10): the worst
+        # endpoint fed by the port should sit at ~10 ps slack.
+        c = Constraints.single_clock(500.0)
+        c.input_delays = {port: budget - 10.0}
+        flat = STA(sta.design, lib, c).run()
+        etm_slack = etm.setup_slack_for_arrival(port, budget - 10.0)
+        assert etm_slack == pytest.approx(10.0, abs=0.01)
+        # The flat WNS cannot be better than the ETM prediction, and when
+        # the port path dominates it matches.
+        port_endpoints = [
+            e.slack for e in flat.endpoints("setup")
+        ]
+        assert min(port_endpoints) <= etm_slack + 0.5
+
+    def test_check_merges_internal_and_boundary(self, etm):
+        arrivals = {p: 0.0 for p in etm.input_ports()}
+        merged = etm.check(arrivals)
+        assert merged <= etm.internal_wns + 1e-9
+
+    def test_excessive_arrival_fails_check(self, etm):
+        port = etm.input_ports()[0]
+        budget = etm.ports[port].setup_budget
+        assert etm.setup_slack_for_arrival(port, budget + 5.0) < 0.0
+
+    def test_unknown_port_rejected(self, etm):
+        with pytest.raises(TimingError):
+            etm.setup_slack_for_arrival("nope", 0.0)
+
+    def test_extraction_requires_zero_input_delays(self, lib):
+        d = tiny_design()
+        c = Constraints.single_clock(500.0)
+        c.input_delays = {"in0": 20.0}
+        sta = STA(d, lib, c)
+        sta.report = sta.run()
+        with pytest.raises(TimingError, match="zero input delays"):
+            extract_etm(sta)
+
+    def test_clock_to_out_positive(self, etm):
+        for port in etm.output_ports():
+            assert etm.ports[port].clock_to_out > 0.0
+
+    def test_render(self, etm):
+        text = render_etm(etm)
+        assert "ETM for block" in text
+        assert "setup budget" in text
+
+
+class TestMiniaIntegrationWithSlacks:
+    def test_instance_slacks_feed_minia_guard(self, lib):
+        """End-to-end: the required-time engine supplies the MinIA fixer's
+        timing guard."""
+        import random
+
+        from repro.netlist.transforms import swap_vt
+        from repro.place.minia import fix_minia_violations
+        from repro.place.rows import Placement
+
+        d = random_logic(n_gates=150, n_levels=8, seed=2)
+        d.bind(lib)
+        rng = random.Random(2)
+        for name in list(d.instances):
+            inst = d.instances[name]
+            if not lib.cell(inst.cell_name).is_sequential and \
+                    rng.random() < 0.3:
+                swap_vt(d, lib, name, rng.choice(["lvt", "hvt"]))
+        sta = STA(d, lib, Constraints.single_clock(500.0))
+        sta.report = sta.run()
+        slacks = instance_slacks(sta, "late")
+        placement = Placement.from_design(d, lib)
+        placement.abut_all()
+        report = fix_minia_violations(
+            d, lib, placement,
+            slack_of=lambda name: slacks.get(name, math.inf),
+            slack_guard=10.0,
+        )
+        assert report.fix_rate >= 0.8

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSta:
+    def test_passing_design_exits_zero(self, capsys):
+        rc = main(["sta", "--design", "tiny", "--period", "800"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WNS" in out
+        assert "slack histogram" in out
+
+    def test_failing_design_exits_nonzero(self, capsys):
+        rc = main(["sta", "--design", "tiny", "--period", "60"])
+        assert rc == 1
+
+    def test_paths_printed(self, capsys):
+        main(["sta", "--design", "tiny", "--period", "800", "--paths", "2"])
+        out = capsys.readouterr().out
+        assert out.count("Path (setup)") == 2
+
+    def test_corner_options(self, capsys):
+        rc = main([
+            "sta", "--design", "tiny", "--period", "800",
+            "--process", "ss", "--vdd", "0.72", "--temp", "125",
+        ])
+        assert rc == 0
+        assert "ss" in capsys.readouterr().out
+
+    def test_si_flag(self, capsys):
+        assert main(["sta", "--design", "tiny", "--period", "800",
+                     "--si"]) == 0
+
+
+class TestClosure:
+    def test_closure_converges(self, capsys):
+        rc = main([
+            "closure", "--design", "rand", "--gates", "120",
+            "--period", "600", "--iterations", "6",
+        ])
+        out = capsys.readouterr().out
+        assert "WNS" in out
+        assert rc == 0
+        assert "converged" in out
+
+
+class TestLibrary:
+    def test_library_to_stdout(self, capsys):
+        rc = main(["library", "--process", "tt"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "library (" in out
+        assert "INV_X1_SVT" in out
+
+    def test_library_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.lib"
+        rc = main(["library", "-o", str(target)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.liberty.io import parse_library
+
+        lib = parse_library(target.read_text())
+        assert len(lib) > 0
+
+    def test_aged_library(self, capsys):
+        rc = main(["library", "--aging-mv", "40"])
+        assert rc == 0
+
+
+class TestOtherCommands:
+    def test_etm(self, capsys):
+        rc = main(["etm", "--design", "tiny", "--period", "600"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ETM for block" in out
+
+    def test_corners(self, capsys):
+        rc = main(["corners", "--modes", "4", "--domains", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scenarios_per_layer" in out
+
+    def test_history(self, capsys):
+        rc = main(["history"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OLD" in out and "care-about" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sta", "--design", "bogus"])

@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests (hypothesis) for DESIGN.md's
+invariant list — the ones not already covered inside module suites."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.aging.bti import BtiModel
+from repro.beol.corners import conventional_corners, tightened_corner
+from repro.beol.stack import default_stack
+from repro.core.margins import MarginStackup
+from repro.cts.useful_skew import SkewStage, schedule_useful_skew
+from repro.flops.model import default_flop_model
+from repro.flops.recovery import Stage, recover_margin
+from repro.variation.ssta import GaussianArrival, clark_max
+
+
+class TestUsefulSkewProperties:
+    @given(
+        slacks=st.lists(
+            st.tuples(st.floats(-80.0, 80.0), st.floats(5.0, 200.0)),
+            min_size=2, max_size=6,
+        ),
+        max_adjust=st.floats(5.0, 60.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_and_hold_safe(self, slacks, max_adjust):
+        """The LP never degrades the worst setup slack, keeps offsets in
+        bounds, and never eats more hold slack than a stage has."""
+        stages = [
+            SkewStage(f"f{i}", f"f{(i + 1) % len(slacks)}", setup, hold)
+            for i, (setup, hold) in enumerate(slacks)
+        ]
+        result = schedule_useful_skew(stages, max_adjust=max_adjust)
+        assert result.predicted_wns >= result.baseline_wns - 1e-6
+        for v in result.offsets.values():
+            assert -1e-9 <= v <= max_adjust + 1e-9
+        for stage in stages:
+            taken = result.offsets[stage.capture] - \
+                result.offsets[stage.launch]
+            assert taken <= stage.hold_slack + 1e-6
+
+
+class TestMarginProperties:
+    @given(
+        components=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.floats(0.0, 50.0),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rss_never_exceeds_linear(self, components):
+        stackup = MarginStackup(components)
+        assert stackup.rss_total() <= stackup.linear_total() + 1e-9
+
+    @given(factor=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_jitter_accounting_monotone(self, factor):
+        base = MarginStackup()
+        scaled = base.with_cycle_jitter_accounting(factor)
+        assert scaled.linear_total() <= base.linear_total() + 1e-9
+
+
+class TestCornerTighteningProperties:
+    @given(factor=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_tightened_scales_bracketed(self, factor):
+        """Every tightened multiplier lies between typical (1.0) and the
+        original corner's multiplier."""
+        stack = default_stack()
+        cw = conventional_corners(stack)["cw"]
+        tbc = tightened_corner(cw, factor)
+        for layer, original in cw.scales:
+            tight = tbc.layer_scales(layer)
+            for attr in ("r", "c_ground", "c_coupling"):
+                o = getattr(original, attr)
+                t = getattr(tight, attr)
+                lo, hi = sorted((1.0, o))
+                assert lo - 1e-9 <= t <= hi + 1e-9
+
+
+class TestBtiProperties:
+    @given(
+        segments=st.lists(
+            st.tuples(st.floats(0.1, 4.0), st.floats(0.6, 1.0)),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accumulation_bracketed_by_constant_voltage(self, segments):
+        """Piecewise stress lies between all-time-at-min-V and
+        all-time-at-max-V."""
+        bti = BtiModel()
+        total_time = sum(t for t, _ in segments)
+        v_lo = min(v for _, v in segments)
+        v_hi = max(v for _, v in segments)
+        shift = bti.accumulate(segments)
+        assert bti.delta_vt(total_time, v_lo) - 1e-12 <= shift
+        assert shift <= bti.delta_vt(total_time, v_hi) + 1e-12
+
+
+class TestClarkMaxProperties:
+    arrivals = st.builds(
+        GaussianArrival,
+        mean=st.floats(-100.0, 100.0),
+        sigma_local=st.floats(0.01, 20.0),
+        sigma_global=st.floats(0.0, 10.0),
+    )
+
+    @given(a=arrivals, b=arrivals)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        m1 = clark_max(a, b)
+        m2 = clark_max(b, a)
+        assert m1.mean == pytest.approx(m2.mean, rel=1e-6, abs=1e-6)
+        assert m1.sigma_local == pytest.approx(m2.sigma_local, rel=1e-5,
+                                               abs=1e-6)
+
+    @given(a=arrivals, b=arrivals)
+    @settings(max_examples=50, deadline=None)
+    def test_sigma_bounded_by_inputs(self, a, b):
+        m = clark_max(a, b)
+        assert m.sigma_local <= max(a.sigma_local, b.sigma_local) + 1e-6
+
+    @given(a=arrivals, shift=st.floats(0.0, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, a, shift):
+        b = GaussianArrival(a.mean - 10.0, sigma_local=2.0)
+        m0 = clark_max(a, b)
+        m1 = clark_max(
+            GaussianArrival(a.mean + shift, a.sigma_local, a.sigma_global),
+            GaussianArrival(b.mean + shift, b.sigma_local, b.sigma_global),
+        )
+        assert m1.mean - m0.mean == pytest.approx(shift, abs=1e-6)
+
+
+class TestRecoveryProperties:
+    @given(
+        delays=st.lists(st.floats(200.0, 380.0), min_size=2, max_size=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_recovery_never_worse(self, delays):
+        model = default_flop_model()
+        stages = [
+            Stage(f"f{i}", f"f{(i + 1) % len(delays)}", d)
+            for i, d in enumerate(delays)
+        ]
+        result = recover_margin(stages, model, period=430.0, iterations=6)
+        assert result.recovered_wns >= result.baseline_wns - 1e-6
+        for s in result.setup_points.values():
+            assert s > model.s_wall

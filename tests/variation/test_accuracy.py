@@ -1,0 +1,118 @@
+"""Tests for the variation-model accuracy ladder (Section 3.1)."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+from repro.variation.accuracy import (
+    MODELS,
+    ladder_comparison,
+    predicted_path_delta,
+    true_path_deltas,
+)
+from repro.variation.derate import aocv_derates, flat_ocv_derates
+
+
+@pytest.fixture(scope="module")
+def sta():
+    lib = make_library()
+    d = random_logic(n_gates=200, n_levels=8, seed=11)
+    sta = STA(d, lib, Constraints.single_clock(500.0))
+    sta.report = sta.run()
+    return sta
+
+
+@pytest.fixture(scope="module")
+def paths(sta):
+    candidates = [sta.worst_path(e) for e in sta.report.endpoints("setup")[:10]
+                  if e.kind == "setup"]
+    return [p for p in candidates if p.stage_count >= 1]
+
+
+class TestPredictions:
+    def test_all_models_predict_positive_delta(self, sta, paths):
+        for model in MODELS:
+            for path in paths:
+                assert predicted_path_delta(sta, path, model) > 0.0
+
+    def test_unknown_model_rejected(self, sta, paths):
+        with pytest.raises(TimingError, match="unknown variation model"):
+            predicted_path_delta(sta, paths[0], "ssta")
+
+    def test_pocv_rss_below_linear_sum(self, sta, paths):
+        """RSS accumulation must be below the linear (fully correlated)
+        sum — the whole point of statistical variation models."""
+        path = paths[0]
+        pocv = predicted_path_delta(sta, path, "pocv")
+        # Linear sum = flat with fraction equal to per-stage 3*sigma_rel:
+        # approximate with a generous flat fraction.
+        linear = predicted_path_delta(sta, path, "flat", flat_fraction=0.15)
+        assert pocv < linear
+
+    def test_deeper_paths_get_relatively_less_aocv(self, sta):
+        """AOCV derate fraction shrinks with depth."""
+        eps = [e for e in sta.report.endpoints("setup") if e.kind == "setup"]
+        # Port-fed flops have zero cell stages; the AOCV fraction is only
+        # defined for real logic paths.
+        paths = [p for p in (sta.worst_path(e) for e in eps)
+                 if p.stage_count >= 1]
+        shallow = min(paths, key=lambda p: p.stage_count)
+        deep = max(paths, key=lambda p: p.stage_count)
+        if deep.stage_count == shallow.stage_count:
+            pytest.skip("population lacks depth spread")
+
+        def rel(p):
+            delta = predicted_path_delta(sta, p, "aocv")
+            cell = p.cell_delay()
+            return delta / cell
+
+        assert rel(deep) < rel(shallow)
+
+
+class TestLadder:
+    @pytest.fixture(scope="class")
+    def rows(self, sta, paths):
+        return ladder_comparison(sta, paths, n_samples=2500, seed=7)
+
+    def test_all_models_present(self, rows):
+        assert set(rows) == set(MODELS)
+
+    def test_lvf_beats_pocv(self, rows):
+        assert rows["lvf"].mean_abs_error < rows["pocv"].mean_abs_error
+
+    def test_pocv_beats_aocv(self, rows):
+        assert rows["pocv"].mean_abs_error < rows["aocv"].mean_abs_error
+
+    def test_lvf_nearly_unbiased(self, rows):
+        assert abs(rows["lvf"].mean_signed_error) < \
+            abs(rows["aocv"].mean_signed_error)
+
+    def test_truth_positive(self, sta, paths):
+        for t in true_path_deltas(sta, paths, n_samples=800, seed=1):
+            assert t > 0.0
+
+
+class TestDerateBuilders:
+    def test_flat_ocv_symmetric(self):
+        d = flat_ocv_derates(0.08)
+        assert d.data_late == pytest.approx(1.08)
+        assert d.data_early == pytest.approx(0.92)
+        assert d.clock_late == pytest.approx(1.08)
+
+    def test_flat_ocv_separate_clock(self):
+        d = flat_ocv_derates(0.08, clock_percent=0.04)
+        assert d.clock_late == pytest.approx(1.04)
+
+    def test_flat_ocv_bad_fraction(self):
+        from repro.errors import LibraryError
+
+        with pytest.raises(LibraryError):
+            flat_ocv_derates(1.5)
+
+    def test_aocv_derates_built_from_library(self, sta):
+        d = aocv_derates(sta.library)
+        assert d.aocv is not None
+        assert d.aocv.derate(1.0, 0.0, "late") > \
+            d.aocv.derate(16.0, 0.0, "late") > 1.0

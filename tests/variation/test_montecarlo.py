@@ -1,0 +1,96 @@
+"""Tests for Monte Carlo timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+from repro.variation.montecarlo import (
+    mc_path_delays,
+    nominal_path_delay,
+    path_delay_statistics,
+    spice_chain_mc,
+)
+
+
+@pytest.fixture(scope="module")
+def sta():
+    lib = make_library()
+    d = random_logic(n_gates=150, n_levels=8, seed=11)
+    sta = STA(d, lib, Constraints.single_clock(500.0))
+    sta.report = sta.run()
+    return sta
+
+
+@pytest.fixture(scope="module")
+def worst_path(sta):
+    e = [e for e in sta.report.setup if e.kind == "setup"][0]
+    return sta.worst_path(e)
+
+
+class TestMcPathDelays:
+    def test_deterministic_for_seed(self, sta, worst_path):
+        a = mc_path_delays(sta, worst_path, n_samples=64, seed=5)
+        b = mc_path_delays(sta, worst_path, n_samples=64, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_samples(self, sta, worst_path):
+        a = mc_path_delays(sta, worst_path, n_samples=64, seed=5)
+        b = mc_path_delays(sta, worst_path, n_samples=64, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_mean_close_to_nominal(self, sta, worst_path):
+        samples = mc_path_delays(sta, worst_path, n_samples=4000, seed=1)
+        nominal = nominal_path_delay(sta, worst_path)
+        # Slight positive bias expected from the asymmetric perturbation.
+        assert samples.mean() == pytest.approx(nominal, rel=0.05)
+
+    def test_distribution_right_skewed(self, sta, worst_path):
+        """The Fig 7 asymmetry: late tail fatter than early tail."""
+        samples = mc_path_delays(sta, worst_path, n_samples=6000, seed=1)
+        stats = path_delay_statistics(samples)
+        assert stats.skewness > 0.05
+        assert stats.asymmetry > 1.1
+
+    def test_global_correlation_widens_sigma(self, sta, worst_path):
+        local = mc_path_delays(sta, worst_path, n_samples=3000, seed=1,
+                               global_sigma_frac=0.0)
+        correlated = mc_path_delays(sta, worst_path, n_samples=3000, seed=1,
+                                    global_sigma_frac=0.8)
+        assert correlated.std() > local.std()
+
+    def test_statistics_require_enough_samples(self):
+        with pytest.raises(TimingError):
+            path_delay_statistics(np.array([1.0, 2.0]))
+
+    def test_nominal_close_to_gba_arrival_minus_clock(self, sta, worst_path):
+        nominal = nominal_path_delay(sta, worst_path)
+        # GBA arrival includes the same stages; allow slack for launch
+        # clock wire segments not in the cell-stage model.
+        assert nominal == pytest.approx(worst_path.arrival, rel=0.15)
+
+
+class TestSpiceChainMc:
+    """Device-level MC — slow; kept small."""
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return spice_chain_mc(n_stages=4, n_samples=120, seed=3,
+                              sigma_vt=0.06, dt=1.0)
+
+    def test_sample_count(self, samples):
+        assert samples.shape == (120,)
+        assert np.all(samples > 0.0)
+
+    def test_emergent_right_skew(self, samples):
+        """Delay is convex in Vt, so the physical distribution is
+        right-skewed without any model telling it to be."""
+        stats = path_delay_statistics(samples)
+        assert stats.skewness > 0.0
+
+    def test_deterministic(self):
+        a = spice_chain_mc(n_stages=3, n_samples=8, seed=1)
+        b = spice_chain_mc(n_stages=3, n_samples=8, seed=1)
+        np.testing.assert_allclose(a, b)

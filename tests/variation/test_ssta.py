@@ -1,0 +1,192 @@
+"""Tests for block-based SSTA and statistical interconnect."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beol.stack import default_stack
+from repro.errors import TimingError
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.parasitics.statistical import (
+    RcSigmas,
+    StatisticalAnnotator,
+    layer_rc_sigmas,
+    parse_statistical_spef,
+    write_statistical_spef,
+)
+from repro.sta import STA, Constraints
+from repro.variation.montecarlo import mc_path_delays
+from repro.variation.ssta import GaussianArrival, clark_max, run_ssta
+
+
+@pytest.fixture(scope="module")
+def sta():
+    lib = make_library()
+    d = random_logic(n_gates=200, n_levels=8, seed=11)
+    sta = STA(d, lib, Constraints.single_clock(500.0))
+    sta.report = sta.run()
+    return sta
+
+
+@pytest.fixture(scope="module")
+def ssta_result(sta):
+    return run_ssta(sta, global_sigma_frac=0.3)
+
+
+class TestGaussianArrival:
+    def test_sigma_combines_components(self):
+        a = GaussianArrival(10.0, sigma_local=3.0, sigma_global=4.0)
+        assert a.sigma == pytest.approx(5.0)
+
+    def test_shifted_rss_local(self):
+        a = GaussianArrival(10.0, sigma_local=3.0)
+        b = a.shifted(5.0, 4.0)
+        assert b.mean == pytest.approx(15.0)
+        assert b.sigma_local == pytest.approx(5.0)
+
+    def test_shifted_global_adds_linearly(self):
+        a = GaussianArrival(0.0, sigma_global=2.0)
+        b = a.shifted(1.0, 0.0, delay_sigma_global=3.0)
+        assert b.sigma_global == pytest.approx(5.0)
+
+    def test_quantile(self):
+        a = GaussianArrival(10.0, sigma_local=2.0)
+        assert a.quantile(3.0) == pytest.approx(16.0)
+
+
+class TestClarkMax:
+    def test_dominant_input_wins(self):
+        a = GaussianArrival(100.0, sigma_local=1.0)
+        b = GaussianArrival(0.0, sigma_local=1.0)
+        m = clark_max(a, b)
+        assert m.mean == pytest.approx(100.0, abs=0.01)
+        assert m.sigma_local == pytest.approx(1.0, abs=0.01)
+
+    def test_equal_inputs_mean_exceeds_both(self):
+        """E[max of two equal iid Gaussians] = mu + sigma/sqrt(pi)."""
+        a = GaussianArrival(10.0, sigma_local=2.0)
+        m = clark_max(a, GaussianArrival(10.0, sigma_local=2.0))
+        assert m.mean == pytest.approx(10.0 + 2.0 / math.sqrt(math.pi),
+                                       rel=1e-3)
+
+    @given(
+        mu_a=st.floats(-50, 50), mu_b=st.floats(-50, 50),
+        s_a=st.floats(0.1, 10), s_b=st.floats(0.1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_max_mean_at_least_both_means(self, mu_a, mu_b, s_a, s_b):
+        m = clark_max(GaussianArrival(mu_a, sigma_local=s_a),
+                      GaussianArrival(mu_b, sigma_local=s_b))
+        assert m.mean >= max(mu_a, mu_b) - 1e-9
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(3)
+        xa = rng.normal(10.0, 3.0, 200000)
+        xb = rng.normal(12.0, 2.0, 200000)
+        mc = np.maximum(xa, xb)
+        m = clark_max(GaussianArrival(10.0, sigma_local=3.0),
+                      GaussianArrival(12.0, sigma_local=2.0))
+        assert m.mean == pytest.approx(float(mc.mean()), rel=0.01)
+        assert m.sigma_local == pytest.approx(float(mc.std()), rel=0.03)
+
+
+class TestRunSsta:
+    def test_requires_deterministic_run(self):
+        lib = make_library()
+        d = random_logic(n_gates=60, n_levels=4, seed=2)
+        fresh = STA(d, lib, Constraints.single_clock(500.0))
+        with pytest.raises(TimingError):
+            run_ssta(fresh)
+
+    def test_endpoint_sigmas_positive(self, ssta_result):
+        assert ssta_result.endpoint_slacks
+        for dist in ssta_result.endpoint_slacks.values():
+            assert dist.sigma > 0.0
+
+    def test_statistical_mean_at_most_det_arrival_plus_bias(self, sta,
+                                                            ssta_result):
+        """SSTA slack mean tracks deterministic slack within the Clark
+        max bias (statistical max >= max of means). Port-fed endpoints
+        (no cell stages, zero sigma) are excluded: their slacks differ
+        only by the rise/fall constraint convention."""
+        for e in sta.report.endpoints("setup"):
+            if e.kind != "setup":
+                continue
+            dist = ssta_result.endpoint_slacks[e.endpoint]
+            if dist.sigma < 0.1:
+                continue
+            assert dist.mean <= e.slack + 1e-6
+
+    def test_sigma_matches_path_mc(self, sta, ssta_result):
+        """On the worst endpoint the SSTA sigma must match Monte Carlo
+        over the dominant path (single dominant path => Clark is exact)."""
+        e = [x for x in sta.report.endpoints("setup") if x.kind == "setup"][0]
+        dist = ssta_result.endpoint_slacks[e.endpoint]
+        path = sta.worst_path(e)
+        samples = mc_path_delays(sta, path, n_samples=4000, seed=1,
+                                 global_sigma_frac=0.3)
+        assert dist.sigma == pytest.approx(float(samples.std()), rel=0.15)
+
+    def test_yield_aware_slack_below_mean(self, ssta_result):
+        ep = next(iter(ssta_result.endpoint_slacks))
+        assert ssta_result.slack_at_sigma(ep, 3.0) < \
+            ssta_result.endpoint_slacks[ep].mean
+
+    def test_wns_at_sigma_monotone_in_confidence(self, ssta_result):
+        assert ssta_result.wns_at_sigma(3.0) < ssta_result.wns_at_sigma(1.0)
+
+    def test_global_fraction_shifts_decomposition(self, sta):
+        local = run_ssta(sta, global_sigma_frac=0.0)
+        mixed = run_ssta(sta, global_sigma_frac=0.8)
+        ep = max(local.endpoint_slacks,
+                 key=lambda e: local.endpoint_slacks[e].sigma)
+        assert local.endpoint_slacks[ep].sigma_global == 0.0
+        assert mixed.endpoint_slacks[ep].sigma_global > 0.0
+
+
+class TestStatisticalInterconnect:
+    @pytest.fixture(scope="class")
+    def annotator(self, sta):
+        return StatisticalAnnotator(sta.parasitics, default_stack())
+
+    def test_sadp_layer_noisier_than_single(self):
+        stack = default_stack()
+        sadp = layer_rc_sigmas(stack.layer("M2"))
+        single = layer_rc_sigmas(stack.layer("M6"))
+        assert sadp.wire_delay_rel > single.wire_delay_rel
+
+    def test_wire_sigma_positive(self, sta, annotator):
+        sigmas = annotator.all_wire_sigmas()
+        assert sigmas
+        assert all(v >= 0.0 for v in sigmas.values())
+
+    def test_ssta_with_wires_widens_sigma(self, sta, annotator):
+        base = run_ssta(sta, global_sigma_frac=0.3)
+        wired = run_ssta(sta, global_sigma_frac=0.3,
+                         wire_annotator=annotator)
+        ep = next(iter(base.endpoint_slacks))
+        assert wired.endpoint_slacks[ep].sigma >= \
+            base.endpoint_slacks[ep].sigma
+
+    def test_sspef_round_trip(self, sta, annotator):
+        text = write_statistical_spef("rand", annotator)
+        parsed = parse_statistical_spef(text)
+        assert parsed
+        some_net = next(iter(parsed))
+        assert parsed[some_net].r_rel == pytest.approx(
+            annotator.net_sigmas(some_net).r_rel
+        )
+
+    def test_sspef_malformed_rejected(self):
+        from repro.errors import CornerError
+
+        with pytest.raises(CornerError):
+            parse_statistical_spef("*X_NET n 1 2\n")
+
+    def test_rc_sigma_delay_combination(self):
+        s = RcSigmas(r_rel=0.03, c_rel=0.04)
+        assert s.wire_delay_rel == pytest.approx(0.05)
