@@ -1,0 +1,86 @@
+"""Parallel signoff over the Section 2.3 corner-explosion workload.
+
+The corner super-explosion makes signoff turnaround the product of
+scenario count and per-scenario STA cost. The scheduler attacks both:
+scenarios fan out over a worker pool, and a content-hash cache makes
+re-signoff after *no* change (or a constraint-only change that misses
+some scenarios) skip recomputation entirely. This benchmark runs the
+standard nine-view signoff matrix three ways — serial, parallel, warm
+cache — asserts the reports are byte-identical, and records the wall
+times.
+"""
+
+import time
+
+from conftest import once
+
+from repro.netlist.generators import random_logic
+from repro.sta import Constraints
+from repro.sta.mcmm import standard_scenario_set
+from repro.sta.scheduler import ScenarioResultCache, SignoffScheduler
+
+
+def _full_text(outcome) -> str:
+    return "\n".join(
+        outcome.reports[name].render_full() for name in sorted(outcome.reports)
+    )
+
+
+def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
+                                            record_table):
+    def run():
+        constraints = Constraints.single_clock(520.0)
+        constraints.input_delays = {f"in{i}": 60.0 for i in range(16)}
+        scenario_set = standard_scenario_set(constraints, lib_factory)
+        design = random_logic(n_inputs=16, n_outputs=16, n_gates=150,
+                              n_levels=6, seed=9)
+
+        serial = SignoffScheduler(scenario_set.scenarios,
+                                  stack=scenario_set.stack, jobs=1)
+        t0 = time.perf_counter()
+        cold_serial = serial.signoff(design)
+        t_serial = time.perf_counter() - t0
+
+        cache = ScenarioResultCache()
+        parallel = SignoffScheduler(scenario_set.scenarios,
+                                    stack=scenario_set.stack, jobs=4,
+                                    executor="thread", cache=cache)
+        t0 = time.perf_counter()
+        cold_parallel = parallel.signoff(design)
+        t_parallel = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = parallel.signoff(design)
+        t_warm = time.perf_counter() - t0
+        return (cold_serial, t_serial, cold_parallel, t_parallel, warm,
+                t_warm, cache, len(scenario_set.scenarios))
+
+    (cold_serial, t_serial, cold_parallel, t_parallel, warm, t_warm,
+     cache, n_scenarios) = once(benchmark, run)
+
+    lines = [
+        f"workload: {n_scenarios}-view standard signoff matrix, "
+        f"150-gate block",
+        f"{'pass':<22} {'wall (s)':>9} {'recomputed':>11} {'hits':>6}",
+        f"{'serial cold (jobs=1)':<22} {t_serial:9.3f} "
+        f"{len(cold_serial.recomputed):>11} {len(cold_serial.cache_hits):>6}",
+        f"{'parallel cold (jobs=4)':<22} {t_parallel:9.3f} "
+        f"{len(cold_parallel.recomputed):>11} "
+        f"{len(cold_parallel.cache_hits):>6}",
+        f"{'parallel warm cache':<22} {t_warm:9.3f} "
+        f"{len(warm.recomputed):>11} {len(warm.cache_hits):>6}",
+        "",
+        f"warm-cache speedup vs serial cold: {t_serial / max(t_warm, 1e-9):.1f}x",
+        f"cache: {cache.stats.hits} hits / {cache.stats.misses} misses, "
+        f"{cache.stats.evaluations} evaluations",
+    ]
+    record_table("parallel_signoff", "\n".join(lines))
+
+    # Determinism: parallel fan-out changes nothing, byte for byte.
+    assert _full_text(cold_serial) == _full_text(cold_parallel)
+    assert cold_serial.render() == cold_parallel.render()
+    # Warm cache: zero scenarios recomputed, identical reports, faster.
+    assert warm.recomputed == []
+    assert len(warm.cache_hits) == n_scenarios
+    assert _full_text(warm) == _full_text(cold_serial)
+    assert t_warm < t_serial

@@ -3,6 +3,7 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro sta      --design rand --period 500
+    python -m repro signoff  --design rand --period 500 --jobs 4
     python -m repro closure  --design c5315 --period 430
     python -m repro library  --process ss --vdd 0.72 --temp 125 -o ss.lib
     python -m repro etm      --design rand --period 500
@@ -114,6 +115,38 @@ def _cmd_sta(args) -> int:
     return 0 if report.wns("setup") >= 0 and report.wns("hold") >= 0 else 1
 
 
+def _cmd_signoff(args) -> int:
+    from repro.sta.mcmm import standard_scenario_set
+    from repro.sta.scheduler import ScenarioResultCache, SignoffScheduler
+
+    design, _, constraints = _make_setup(args)
+
+    def factory(process: str, vdd: float, temp: float):
+        return make_library(
+            LibraryCondition(process=process, vdd=vdd, temp_c=temp)
+        )
+
+    scenario_set = standard_scenario_set(constraints, factory)
+    scheduler = SignoffScheduler(
+        scenario_set.scenarios,
+        stack=scenario_set.stack,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache=ScenarioResultCache(),
+    )
+    outcome = scheduler.signoff(design)
+    print(outcome.render("setup"))
+    print()
+    print(
+        f"jobs: {args.jobs} ({args.executor}); recomputed "
+        f"{len(outcome.recomputed)}/{len(scenario_set.scenarios)} scenarios "
+        f"in {outcome.wall_time_s:.2f} s"
+    )
+    result = outcome.result
+    ok = result.merged_wns("setup") >= 0 and result.merged_wns("hold") >= 0
+    return 0 if ok else 1
+
+
 def _cmd_closure(args) -> int:
     from repro.core.closure import ClosureConfig, ClosureEngine
 
@@ -188,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sta.add_argument("--paths", type=int, default=1,
                        help="worst paths to print")
     p_sta.set_defaults(func=_cmd_sta)
+
+    p_sig = sub.add_parser(
+        "signoff", help="parallel MCMM signoff over the standard corner set"
+    )
+    _add_design_args(p_sig)
+    _add_library_args(p_sig)
+    p_sig.add_argument("--jobs", type=int, default=1,
+                       help="signoff worker count (1 = serial)")
+    p_sig.add_argument("--executor", default="thread",
+                       choices=["serial", "thread", "process"],
+                       help="worker pool flavor")
+    p_sig.set_defaults(func=_cmd_signoff)
 
     p_clo = sub.add_parser("closure", help="run the Fig 1 closure loop")
     _add_design_args(p_clo)

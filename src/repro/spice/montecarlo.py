@@ -11,6 +11,7 @@ perturbed — threshold shift and current-factor scale — matching the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -65,3 +66,48 @@ def reset_variation(circuit: Circuit) -> None:
     for fet in circuit.transistors:
         fet.vt_shift = 0.0
         fet.k_scale = 1.0
+
+
+# ---------------------------------------------------------------------- #
+# deterministic batch evaluation
+
+
+def sample_seeds(seed: int, n_samples: int) -> List[np.random.SeedSequence]:
+    """One independent child seed per MC sample.
+
+    ``numpy.random.SeedSequence.spawn`` gives every sample its own
+    statistically independent stream derived only from (seed, index) —
+    *not* from how samples are batched over workers — so serial and
+    parallel evaluation of the same seed are bit-identical.
+    """
+    return np.random.SeedSequence(seed).spawn(n_samples)
+
+
+def evaluate_samples(
+    evaluate: Callable[[int, np.random.Generator], object],
+    n_samples: int,
+    seed: int = 0,
+    jobs: int = 1,
+    executor: str = "thread",
+) -> List[object]:
+    """Evaluate ``evaluate(index, rng)`` for every sample, batched.
+
+    Fans samples out over the signoff scheduler's worker pool
+    (:func:`repro.sta.scheduler.parallel_map`); results come back in
+    sample order and each sample's generator is spawned from the master
+    seed, so the output is independent of ``jobs``/``executor``.
+    """
+    from functools import partial
+
+    from repro.sta.scheduler import parallel_map
+
+    seeds = sample_seeds(seed, n_samples)
+    one = partial(_evaluate_one, evaluate)
+    return parallel_map(one, list(enumerate(seeds)), jobs=jobs,
+                        executor=executor)
+
+
+def _evaluate_one(evaluate, arg):
+    """Module-level so process pools can pickle the partial application."""
+    index, child = arg
+    return evaluate(index, np.random.default_rng(child))

@@ -13,6 +13,8 @@ A full STA stack over the netlist + library + parasitics substrates:
   with path-specific slew recomputation and CPPR credit;
 - :mod:`repro.sta.si` — coupling-noise delta delays;
 - :mod:`repro.sta.mcmm` — multi-corner multi-mode scenario management;
+- :mod:`repro.sta.scheduler` — parallel multi-corner signoff with
+  content-hash result caching;
 - :mod:`repro.sta.reports` — timing reports and histograms.
 """
 
@@ -23,6 +25,12 @@ from repro.sta.reports import TimingReport
 from repro.sta.etm import ExtractedTimingModel, extract_etm
 from repro.sta.incremental import IncrementalTimer
 from repro.sta.required import instance_slacks, required_times
+from repro.sta.scheduler import (
+    ScenarioResultCache,
+    SignoffOutcome,
+    SignoffScheduler,
+    design_fingerprint,
+)
 
 __all__ = [
     "STA",
@@ -35,4 +43,8 @@ __all__ = [
     "IncrementalTimer",
     "instance_slacks",
     "required_times",
+    "ScenarioResultCache",
+    "SignoffOutcome",
+    "SignoffScheduler",
+    "design_fingerprint",
 ]

@@ -40,6 +40,19 @@ class IncrementalTimer:
         self.full_updates = 0
         self.incremental_updates = 0
         self.last_cone_size = 0
+        #: Signoff result caches (:class:`repro.sta.scheduler.
+        #: ScenarioResultCache`) notified whenever this timer edits the
+        #: design, so cached per-scenario reports of the pre-ECO netlist
+        #: are dropped eagerly rather than lingering until LRU eviction.
+        self.caches: List[object] = []
+
+    def register_cache(self, cache) -> None:
+        """Invalidate ``cache`` entries for this design on every update."""
+        self.caches.append(cache)
+
+    def _invalidate_caches(self) -> None:
+        for cache in self.caches:
+            cache.invalidate_design(self.sta.design.name)
 
     # ------------------------------------------------------------------ #
 
@@ -52,6 +65,7 @@ class IncrementalTimer:
         """
         sta = self.sta
         names = list(instance_names)
+        self._invalidate_caches()
         for name in names:
             self._refresh_instance_edges(name)
         seeds: Set[PinRef] = set()
@@ -94,6 +108,7 @@ class IncrementalTimer:
 
     def full_update(self) -> TimingReport:
         """Fall back to a complete re-run (topology changed)."""
+        self._invalidate_caches()
         self.full_updates += 1
         report = self.sta.run()
         self.sta.report = report

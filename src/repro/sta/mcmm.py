@@ -98,10 +98,25 @@ class ScenarioSet:
         self.scenarios = list(scenarios)
         self.stack = stack or default_stack()
 
-    def run(self, design: Design) -> McmmResult:
-        return McmmResult(
-            reports={s.name: s.run(design, self.stack) for s in self.scenarios}
+    def run(self, design: Design, jobs: int = 1, executor: str = "thread",
+            cache=None) -> McmmResult:
+        """Run every scenario; ``jobs > 1`` fans out over the signoff
+        scheduler's worker pool, ``cache`` (a
+        :class:`repro.sta.scheduler.ScenarioResultCache`) reuses reports
+        whose (netlist, constraints, corner) content is unchanged."""
+        if jobs <= 1 and cache is None:
+            return McmmResult(
+                reports={
+                    s.name: s.run(design, self.stack) for s in self.scenarios
+                }
+            )
+        from repro.sta.scheduler import SignoffScheduler
+
+        scheduler = SignoffScheduler(
+            self.scenarios, stack=self.stack, jobs=jobs, executor=executor,
+            cache=cache,
         )
+        return scheduler.run(design)
 
     def prune(self, design: Design, guard_margin: float = 5.0,
               mode: str = "setup") -> Tuple["ScenarioSet", List[str]]:

@@ -198,6 +198,32 @@ class TimingReport:
             lines.append(f"  {label} {count:5d} {bar}")
         return "\n".join(lines)
 
+    def render_full(self) -> str:
+        """A complete, deterministic text dump of the report.
+
+        Every endpoint of every mode with fixed formatting and a stable
+        ordering (slack, then endpoint name — endpoint names are unique,
+        so ties cannot reorder). Two runs of the same analysis produce
+        byte-identical dumps regardless of scheduling, which is what the
+        parallel-signoff regression tests compare.
+        """
+        lines = [f"report {self.scenario or '(default)'}"]
+        for mode in ("setup", "hold"):
+            for e in sorted(self.endpoints(mode),
+                            key=lambda r: (r.slack, str(r.endpoint))):
+                lines.append(
+                    f"  {mode:<6} {str(e.endpoint):<30} "
+                    f"slack {e.slack:12.4f} arrival {e.arrival:12.4f} "
+                    f"required {e.required:12.4f} {e.category}"
+                )
+        for v in sorted(self.slew_violations,
+                        key=lambda s: (s.excess, str(s.ref))):
+            lines.append(
+                f"  slew   {str(v.ref):<30} "
+                f"slew {v.slew:12.4f} limit {v.limit:12.4f}"
+            )
+        return "\n".join(lines)
+
     def violation_breakdown(self, mode: str = "setup") -> Dict[str, int]:
         """Fig 1's 'breakdown of timing failures': violating endpoints
         classified by path category (reg2reg / in2reg / reg2out / in2out),

@@ -1,0 +1,375 @@
+"""Parallel multi-corner signoff engine with content-addressed caching.
+
+The paper's Section 2.3 "corner super-explosion" makes serial signoff the
+dominant turnaround cost: scenario count grows multiplicatively with
+modes, RC corners and voltage domains while each scenario is an
+independent STA run. This module attacks both axes:
+
+- **Parallelism** — :class:`SignoffScheduler` fans scenarios out over a
+  ``concurrent.futures`` pool (thread or process, with a serial
+  fallback). Scenarios are independent and deterministic, so parallel
+  and serial runs produce *identical* reports; results are keyed by
+  scenario name, never by completion order.
+
+- **Caching** — :class:`ScenarioResultCache` memoizes per-scenario
+  :class:`~repro.sta.reports.TimingReport` objects under a content hash
+  of (netlist, constraints, corner parameters). Re-signoff after an ECO
+  only recomputes scenarios whose inputs actually changed; the
+  incremental timer (:mod:`repro.sta.incremental`) notifies registered
+  caches when it edits a design so stale snapshots are dropped eagerly.
+
+The same executor batches Monte Carlo sample evaluation
+(:func:`parallel_map` with per-sample spawned seeds — see
+:mod:`repro.spice.montecarlo`), keeping parallel and serial sampling
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.beol.stack import BeolStack, default_stack
+from repro.errors import TimingError
+from repro.netlist.design import Design
+from repro.sta.constraints import Constraints
+from repro.sta.reports import TimingReport
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------- #
+# content fingerprints
+
+
+def _feed(h, obj) -> None:
+    """Feed one object into a hash, stably across processes and runs.
+
+    Handles the value types that appear in designs, constraints and
+    scenario parameters; dict iteration order is normalized by sorting,
+    floats by fixed-precision formatting.
+    """
+    if obj is None:
+        h.update(b"~")
+    elif isinstance(obj, bool):
+        h.update(b"T" if obj else b"F")
+    elif isinstance(obj, (int, str, bytes)):
+        h.update(repr(obj).encode() if not isinstance(obj, bytes) else obj)
+    elif isinstance(obj, float):
+        h.update(f"{obj:.12g}".encode())
+    elif isinstance(obj, enum.Enum):
+        _feed(h, obj.value)
+    elif isinstance(obj, np.ndarray):
+        h.update(str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"[")
+        for item in obj:
+            _feed(h, item)
+            h.update(b",")
+        h.update(b"]")
+    elif isinstance(obj, dict):
+        h.update(b"{")
+        for key in sorted(obj, key=str):
+            _feed(h, key)
+            h.update(b":")
+            _feed(h, obj[key])
+            h.update(b",")
+        h.update(b"}")
+    elif dataclasses.is_dataclass(obj):
+        h.update(type(obj).__name__.encode())
+        for f in dataclasses.fields(obj):
+            _feed(h, getattr(obj, f.name))
+    else:
+        h.update(repr(obj).encode())
+
+
+def _digest(*parts) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+def design_fingerprint(design: Design) -> str:
+    """Content hash of a netlist: ports, instances, connectivity, nets.
+
+    Only *source* content is hashed — instance cells and pin-to-net
+    connections, ports, and non-derivable net attributes (NDR promotion,
+    bookkeeping cap). Net driver/load lists are derived by
+    :meth:`~repro.netlist.design.Design.bind` and deliberately excluded,
+    so the fingerprint is identical before and after binding.
+    """
+    h = hashlib.sha256()
+    _feed(h, design.name)
+    _feed(h, {name: d for name, d in design.ports.items()})
+    for name in sorted(design.instances):
+        inst = design.instances[name]
+        _feed(h, (name, inst.cell_name, inst.connections, inst.location,
+                  inst.dont_touch))
+    for name in sorted(design.nets):
+        net = design.nets[name]
+        _feed(h, (name, net.ndr, net.extra_cap))
+    return h.hexdigest()
+
+
+def constraints_fingerprint(constraints: Constraints) -> str:
+    """Content hash of an SDC-lite constraint set."""
+    return _digest(constraints)
+
+
+def scenario_fingerprint(scenario) -> str:
+    """Content hash of one scenario's corner parameters.
+
+    Covers the library identity and condition (name, process, vdd,
+    temperature, slew limit, cell count — the analytic library factory is
+    deterministic given its condition, so cell tables need not be
+    re-hashed), the BEOL corner, analysis temperature, derates and the
+    mode constraints.
+    """
+    lib = scenario.library
+    return _digest(
+        (lib.name, lib.process, lib.vdd, lib.temp_c,
+         lib.default_max_transition, len(lib.cells)),
+        scenario.beol_corner_name,
+        scenario.temp_c,
+        scenario.derates,
+        constraints_fingerprint(scenario.constraints),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# result cache
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for tests and reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    evaluations: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ScenarioResultCache:
+    """LRU cache of per-scenario timing reports.
+
+    Keys are ``(design_name, design_fp, scenario_fp)``: the content hash
+    guarantees correctness (any netlist/constraint/corner change misses),
+    while the design *name* supports eager invalidation — an ECO on a
+    live design drops every snapshot taken of it, old content never
+    recurs.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise TimingError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Tuple[str, str, str], TimingReport]" = \
+            OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, design_name: str, design_fp: str,
+               scenario_fp: str) -> Optional[TimingReport]:
+        key = (design_name, design_fp, scenario_fp)
+        report = self._store.get(key)
+        if report is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return report
+
+    def store(self, design_name: str, design_fp: str, scenario_fp: str,
+              report: TimingReport) -> None:
+        key = (design_name, design_fp, scenario_fp)
+        self._store[key] = report
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def invalidate_design(self, design_name: str) -> int:
+        """Drop every cached report of the named design (ECO hygiene)."""
+        stale = [k for k in self._store if k[0] == design_name]
+        for key in stale:
+            del self._store[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._store)
+        self._store.clear()
+
+
+# ---------------------------------------------------------------------- #
+# executor
+
+
+def _run_scenario_job(job):
+    """Module-level worker so process pools can pickle it."""
+    scenario, design, stack = job
+    return scenario.run(design, stack)
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1,
+                 executor: str = "thread") -> List:
+    """Map ``fn`` over ``items``, preserving order, optionally in a pool.
+
+    ``jobs <= 1`` (or a single item, or ``executor="serial"``) runs
+    serially in-process. Results are returned in input order regardless
+    of completion order, so callers see identical output for any job
+    count. ``executor="process"`` requires ``fn`` and the items to be
+    picklable.
+    """
+    if executor not in EXECUTORS:
+        raise TimingError(
+            f"unknown executor {executor!r}; pick from {EXECUTORS}"
+        )
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1 or executor == "serial":
+        return [fn(item) for item in work]
+    pool_cls = ProcessPoolExecutor if executor == "process" \
+        else ThreadPoolExecutor
+    with pool_cls(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))
+
+
+# ---------------------------------------------------------------------- #
+# the scheduler
+
+
+@dataclass
+class SignoffOutcome:
+    """One signoff pass: merged results plus scheduling bookkeeping."""
+
+    reports: Dict[str, TimingReport]
+    cache_hits: List[str]
+    recomputed: List[str]
+    jobs: int
+    wall_time_s: float = 0.0
+
+    @property
+    def result(self):
+        from repro.sta.mcmm import McmmResult
+
+        return McmmResult(reports=self.reports)
+
+    def render(self, mode: str = "setup") -> str:
+        """Deterministic signoff table — byte-identical for any job
+        count or cache state (wall time deliberately excluded)."""
+        lines = [f"{'scenario':<24} {'WNS':>10} {'TNS':>12} {'viol':>6}"]
+        for name in sorted(self.reports):
+            report = self.reports[name]
+            lines.append(
+                f"{name:<24} {report.wns(mode):10.3f} "
+                f"{report.tns(mode):12.3f} "
+                f"{report.violation_count(mode):6d}"
+            )
+        result = self.result
+        lines.append(
+            f"{'merged':<24} {result.merged_wns(mode):10.3f} "
+            f"{result.merged_tns(mode):12.3f}"
+        )
+        lines.append(f"worst scenario: {result.worst_scenario(mode)}")
+        return "\n".join(lines)
+
+
+class SignoffScheduler:
+    """Runs an MCMM scenario set in parallel with result caching.
+
+    Args:
+        scenarios: the MCMM views to sign off (unique names).
+        stack: BEOL stack shared by all scenarios.
+        jobs: worker count; 1 = serial.
+        executor: "thread" (default), "process", or "serial".
+        cache: a shared :class:`ScenarioResultCache`; None disables
+            caching (every scenario recomputes every pass).
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence,
+        stack: Optional[BeolStack] = None,
+        jobs: int = 1,
+        executor: str = "thread",
+        cache: Optional[ScenarioResultCache] = None,
+    ):
+        if not scenarios:
+            raise TimingError("signoff needs at least one scenario")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise TimingError("scenario names must be unique")
+        if jobs < 1:
+            raise TimingError("jobs must be >= 1")
+        if executor not in EXECUTORS:
+            raise TimingError(
+                f"unknown executor {executor!r}; pick from {EXECUTORS}"
+            )
+        self.scenarios = list(scenarios)
+        self.stack = stack or default_stack()
+        self.jobs = jobs
+        self.executor = executor
+        self.cache = cache
+        #: Scenario STA evaluations actually performed (cache misses);
+        #: the call counter the regression tests assert against.
+        self.evaluations = 0
+
+    def signoff(self, design: Design) -> SignoffOutcome:
+        """Run (or reuse) every scenario and merge the results."""
+        t0 = time.perf_counter()
+        design_fp = design_fingerprint(design)
+        reports: Dict[str, TimingReport] = {}
+        hits: List[str] = []
+        todo = []
+        for scenario in self.scenarios:
+            fp = scenario_fingerprint(scenario)
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.lookup(design.name, design_fp, fp)
+            if cached is not None:
+                reports[scenario.name] = cached
+                hits.append(scenario.name)
+            else:
+                todo.append((scenario, fp))
+
+        fresh = parallel_map(
+            _run_scenario_job,
+            [(scenario, design, self.stack) for scenario, _ in todo],
+            jobs=self.jobs,
+            executor=self.executor,
+        )
+        self.evaluations += len(todo)
+        for (scenario, fp), report in zip(todo, fresh):
+            reports[scenario.name] = report
+            if self.cache is not None:
+                self.cache.store(design.name, design_fp, fp, report)
+                self.cache.stats.evaluations += 1
+
+        ordered = {s.name: reports[s.name] for s in self.scenarios}
+        return SignoffOutcome(
+            reports=ordered,
+            cache_hits=hits,
+            recomputed=[s.name for s, _ in todo],
+            jobs=self.jobs,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    def run(self, design: Design):
+        """McmmResult-only convenience wrapper over :meth:`signoff`."""
+        return self.signoff(design).result

@@ -96,10 +96,15 @@ def mc_path_delays(
     sta,
     path: TimingPath,
     n_samples: int = 2000,
-    seed: int = 0,
+    seed=0,
     global_sigma_frac: float = 0.0,
 ) -> np.ndarray:
     """Sample total path delay with per-stage LVF-sigma perturbations.
+
+    ``seed`` is anything ``numpy.random.default_rng`` accepts — an int,
+    a ``SeedSequence``, or an already-constructed ``Generator`` (passed
+    through unchanged), so callers can inject one seeded stream across a
+    whole experiment.
 
     Each stage draws an independent standard normal z; the delay
     perturbation is ``z * sigma_late`` for z > 0 and ``z * sigma_early``
@@ -159,6 +164,41 @@ def nominal_path_delay(sta, path: TimingPath) -> float:
 # device-level MC
 
 
+def _chain_mc_sample(n_stages: int, vdd: float, temp_c: float,
+                     sigma_vt: float, dt: float, index: int,
+                     rng: np.random.Generator) -> float:
+    """Build, perturb and simulate one inverter-chain MC sample.
+
+    Module-level (picklable) so :func:`repro.spice.montecarlo.
+    evaluate_samples` can fan samples out over a process pool.
+    """
+    from repro.spice.gates import add_inverter
+    from repro.spice.measure import delay_between
+    from repro.spice.network import GROUND, Circuit
+    from repro.spice.stimulus import Ramp
+    from repro.spice.transient import simulate
+
+    circuit = Circuit("chain_mc", temp_c=temp_c)
+    vdd_node = circuit.add_vdd(vdd)
+    prev = "in"
+    for i in range(n_stages):
+        out = f"x{i}"
+        add_inverter(circuit, f"u{i}", prev, out, vdd_node)
+        circuit.add_capacitor(out, GROUND, 3.0)
+        prev = out
+    circuit.add_source("in", Ramp(0.0, 30.0, 0.0, vdd))
+    for fet in circuit.transistors:
+        fet.vt_shift = float(rng.normal(0.0, sigma_vt))
+    horizon = 120.0 + 45.0 * n_stages
+    result = simulate(circuit, t_stop=horizon, dt=dt, t_start=-40.0,
+                      record=["in", prev])
+    out_dir = "rise" if n_stages % 2 == 0 else "fall"
+    return delay_between(
+        result.times, result.wave("in"), result.wave(prev),
+        vdd, "rise", out_dir,
+    )
+
+
 def spice_chain_mc(
     n_stages: int = 8,
     n_samples: int = 200,
@@ -167,40 +207,23 @@ def spice_chain_mc(
     seed: int = 0,
     sigma_vt: float = 0.03,
     dt: float = 1.0,
+    jobs: int = 1,
+    executor: str = "thread",
 ) -> np.ndarray:
     """Transistor-level MC of an inverter-chain delay.
 
-    Builds the chain once, then for each sample perturbs every device's
-    threshold (N(0, sigma_vt)) and re-simulates. Returns total 50%-to-50%
-    delays (ps). The distribution is right-skewed because delay grows
-    super-linearly as overdrive shrinks.
+    Each sample builds the chain, perturbs every device's threshold
+    (N(0, sigma_vt)) from its own spawned generator, and re-simulates.
+    Returns total 50%-to-50% delays (ps). The distribution is
+    right-skewed because delay grows super-linearly as overdrive
+    shrinks. Samples draw from per-sample seeds spawned off ``seed``, so
+    results are bit-identical for any ``jobs`` count.
     """
-    from repro.spice.gates import add_inverter
-    from repro.spice.measure import delay_between
-    from repro.spice.network import GROUND, Circuit
-    from repro.spice.stimulus import Ramp
-    from repro.spice.transient import simulate
+    from functools import partial
 
-    rng = np.random.default_rng(seed)
-    delays = np.empty(n_samples)
-    for s in range(n_samples):
-        circuit = Circuit("chain_mc", temp_c=temp_c)
-        vdd_node = circuit.add_vdd(vdd)
-        prev = "in"
-        for i in range(n_stages):
-            out = f"x{i}"
-            add_inverter(circuit, f"u{i}", prev, out, vdd_node)
-            circuit.add_capacitor(out, GROUND, 3.0)
-            prev = out
-        circuit.add_source("in", Ramp(0.0, 30.0, 0.0, vdd))
-        for fet in circuit.transistors:
-            fet.vt_shift = float(rng.normal(0.0, sigma_vt))
-        horizon = 120.0 + 45.0 * n_stages
-        result = simulate(circuit, t_stop=horizon, dt=dt, t_start=-40.0,
-                          record=["in", prev])
-        out_dir = "rise" if n_stages % 2 == 0 else "fall"
-        delays[s] = delay_between(
-            result.times, result.wave("in"), result.wave(prev),
-            vdd, "rise", out_dir,
-        )
-    return delays
+    from repro.spice.montecarlo import evaluate_samples
+
+    sample = partial(_chain_mc_sample, n_stages, vdd, temp_c, sigma_vt, dt)
+    delays = evaluate_samples(sample, n_samples, seed=seed, jobs=jobs,
+                              executor=executor)
+    return np.asarray(delays, dtype=float)

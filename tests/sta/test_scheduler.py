@@ -1,0 +1,250 @@
+"""Tests for the parallel signoff scheduler and its result cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import random_logic
+from repro.netlist.transforms import upsize
+from repro.sta import STA, Constraints, IncrementalTimer
+from repro.sta.mcmm import Scenario, ScenarioSet
+from repro.sta.scheduler import (
+    ScenarioResultCache,
+    SignoffScheduler,
+    constraints_fingerprint,
+    design_fingerprint,
+    parallel_map,
+    scenario_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="module")
+def lib_ss():
+    return make_library(
+        LibraryCondition(process="ss", vdd=0.72, temp_c=125.0)
+    )
+
+
+def make_scenarios(lib, lib_ss):
+    c = Constraints.single_clock(520.0)
+    c.input_delays = {f"in{i}": 60.0 for i in range(16)}
+    return [
+        Scenario("tt_typ", lib, c),
+        Scenario("ss_cw", lib_ss, c, beol_corner_name="cw", temp_c=125.0),
+        Scenario("ss_rcw", lib_ss, c, beol_corner_name="rcw", temp_c=125.0),
+    ]
+
+
+def make_design(seed=9):
+    return random_logic(n_inputs=16, n_outputs=16, n_gates=120,
+                        n_levels=6, seed=seed)
+
+
+def slack_text(outcome):
+    return "\n".join(
+        outcome.reports[n].render_full() for n in sorted(outcome.reports)
+    )
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        serial = SignoffScheduler(scenarios, jobs=1).signoff(design)
+        parallel = SignoffScheduler(scenarios, jobs=4,
+                                    executor="thread").signoff(design)
+        assert slack_text(serial) == slack_text(parallel)
+        assert serial.render("setup") == parallel.render("setup")
+        assert serial.render("hold") == parallel.render("hold")
+
+    def test_results_keyed_by_name_not_completion_order(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        outcome = SignoffScheduler(scenarios, jobs=4).signoff(design)
+        assert list(outcome.reports) == [s.name for s in scenarios]
+        for name, report in outcome.reports.items():
+            assert report.scenario == name
+
+    def test_scenarioset_run_jobs_param(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        base = ScenarioSet(scenarios).run(design)
+        fanned = ScenarioSet(scenarios).run(design, jobs=4)
+        for name in base.reports:
+            assert base.reports[name].render_full() == \
+                fanned.reports[name].render_full()
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(lambda x: x * x, range(10), jobs=4) == \
+            [x * x for x in range(10)]
+
+    def test_parallel_map_rejects_unknown_executor(self):
+        with pytest.raises(TimingError):
+            parallel_map(lambda x: x, [1], jobs=2, executor="rayon")
+
+
+class TestCache:
+    def test_warm_run_skips_recomputation(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        cache = ScenarioResultCache()
+        scheduler = SignoffScheduler(scenarios, jobs=2, cache=cache)
+
+        cold = scheduler.signoff(design)
+        assert scheduler.evaluations == len(scenarios)
+        assert cold.recomputed == [s.name for s in scenarios]
+
+        warm = scheduler.signoff(design)
+        # The call counter must not move: every scenario was a cache hit.
+        assert scheduler.evaluations == len(scenarios)
+        assert warm.recomputed == []
+        assert warm.cache_hits == [s.name for s in scenarios]
+        assert slack_text(warm) == slack_text(cold)
+        assert cache.stats.hits == len(scenarios)
+
+    def test_netlist_change_misses(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        cache = ScenarioResultCache()
+        scheduler = SignoffScheduler(scenarios, cache=cache)
+        scheduler.signoff(make_design(seed=9))
+        scheduler.signoff(make_design(seed=10))
+        assert scheduler.evaluations == 2 * len(scenarios)
+
+    def test_constraint_change_misses(self, lib):
+        design = make_design()
+        cache = ScenarioResultCache()
+        tight = Constraints.single_clock(400.0)
+        loose = Constraints.single_clock(520.0)
+        s1 = SignoffScheduler([Scenario("tt", lib, loose)], cache=cache)
+        s1.signoff(design)
+        s2 = SignoffScheduler([Scenario("tt", lib, tight)], cache=cache)
+        s2.signoff(design)
+        assert s2.evaluations == 1
+        assert cache.stats.misses == 2
+
+    def test_shared_cache_across_schedulers(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        cache = ScenarioResultCache()
+        SignoffScheduler(scenarios, jobs=1, cache=cache).signoff(design)
+        other = SignoffScheduler(scenarios, jobs=4, cache=cache)
+        outcome = other.signoff(design)
+        assert other.evaluations == 0
+        assert outcome.recomputed == []
+
+    def test_lru_eviction(self, lib):
+        c = Constraints.single_clock(520.0)
+        cache = ScenarioResultCache(max_entries=2)
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        for seed in (1, 2, 3):
+            scheduler.signoff(make_design(seed=seed))
+        assert len(cache) == 2
+
+    def test_incremental_timer_invalidates(self, lib):
+        c = Constraints.single_clock(520.0)
+        design = make_design()
+        cache = ScenarioResultCache()
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        scheduler.signoff(design)
+        assert len(cache) == 1
+
+        sta = STA(design, lib, c)
+        sta.report = sta.run()
+        timer = IncrementalTimer(sta)
+        timer.register_cache(cache)
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        assert upsize(design, lib, name)
+        timer.update_cells([name])
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+        # Re-signoff recomputes (content changed *and* cache was dropped)
+        # and agrees with a from-scratch run on the edited design.
+        outcome = scheduler.signoff(design)
+        assert outcome.recomputed == ["tt"]
+        fresh = Scenario("tt", lib, c).run(design, scheduler.stack)
+        assert outcome.reports["tt"].render_full() == fresh.render_full()
+
+
+class TestFingerprints:
+    def test_design_fingerprint_stable_and_sensitive(self, lib):
+        a = make_design(seed=5)
+        b = make_design(seed=5)
+        assert design_fingerprint(a) == design_fingerprint(b)
+        name = next(iter(a.instances))
+        a.instances[name].cell_name += "_X2"
+        assert design_fingerprint(a) != design_fingerprint(b)
+
+    def test_constraints_fingerprint_sensitive(self):
+        base = Constraints.single_clock(500.0)
+        assert constraints_fingerprint(base) == \
+            constraints_fingerprint(Constraints.single_clock(500.0))
+        assert constraints_fingerprint(base) != \
+            constraints_fingerprint(Constraints.single_clock(500.5))
+        margin = Constraints.single_clock(500.0)
+        margin.flat_setup_margin = 12.0
+        assert constraints_fingerprint(base) != \
+            constraints_fingerprint(margin)
+
+    def test_scenario_fingerprint_sees_corner_params(self, lib, lib_ss):
+        c = Constraints.single_clock(500.0)
+        typ = Scenario("s", lib, c)
+        cw = Scenario("s", lib, c, beol_corner_name="cw")
+        hot = Scenario("s", lib, c, temp_c=125.0)
+        ss = Scenario("s", lib_ss, c)
+        fps = {scenario_fingerprint(s) for s in (typ, cw, hot, ss)}
+        assert len(fps) == 4
+
+
+class TestValidation:
+    def test_needs_scenarios(self):
+        with pytest.raises(TimingError):
+            SignoffScheduler([])
+
+    def test_unique_names(self, lib):
+        c = Constraints.single_clock(500.0)
+        with pytest.raises(TimingError):
+            SignoffScheduler([Scenario("a", lib, c), Scenario("a", lib, c)])
+
+    def test_jobs_positive(self, lib):
+        c = Constraints.single_clock(500.0)
+        with pytest.raises(TimingError):
+            SignoffScheduler([Scenario("a", lib, c)], jobs=0)
+
+    def test_executor_validated(self, lib):
+        c = Constraints.single_clock(500.0)
+        with pytest.raises(TimingError):
+            SignoffScheduler([Scenario("a", lib, c)], executor="mpi")
+
+
+class TestMonteCarloBatching:
+    def test_chain_mc_bit_identical_across_jobs(self):
+        from repro.variation.montecarlo import spice_chain_mc
+
+        kwargs = dict(n_stages=3, n_samples=8, seed=11, sigma_vt=0.06,
+                      dt=2.0)
+        serial = spice_chain_mc(jobs=1, **kwargs)
+        threaded = spice_chain_mc(jobs=4, **kwargs)
+        assert np.array_equal(serial, threaded)
+
+    def test_evaluate_samples_independent_of_batching(self):
+        from repro.spice.montecarlo import evaluate_samples
+
+        def draw(index, rng):
+            return float(rng.normal())
+
+        a = evaluate_samples(draw, 16, seed=3, jobs=1)
+        b = evaluate_samples(draw, 16, seed=3, jobs=5)
+        assert a == b
+        # Different master seed -> different samples.
+        c = evaluate_samples(draw, 16, seed=4, jobs=1)
+        assert a != c

@@ -8,6 +8,10 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.aging.bti import BtiModel
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.sta import STA, Constraints
+from repro.sta.pba import gba_vs_pba
 from repro.beol.corners import conventional_corners, tightened_corner
 from repro.beol.stack import default_stack
 from repro.core.margins import MarginStackup
@@ -15,6 +19,76 @@ from repro.cts.useful_skew import SkewStage, schedule_useful_skew
 from repro.flops.model import default_flop_model
 from repro.flops.recovery import Stage, recover_margin
 from repro.variation.ssta import GaussianArrival, clark_max
+
+
+_PROPERTY_LIB = None
+
+
+def _property_lib():
+    """Library shared across hypothesis examples (building it is the
+    expensive part, and it is immutable)."""
+    global _PROPERTY_LIB
+    if _PROPERTY_LIB is None:
+        _PROPERTY_LIB = make_library()
+    return _PROPERTY_LIB
+
+
+def _random_sta(seed: int, n_gates: int, period: float) -> STA:
+    design = random_logic(n_gates=n_gates,
+                          n_levels=max(3, n_gates // 15),
+                          seed=seed)
+    constraints = Constraints.single_clock(period)
+    constraints.input_delays = {
+        p: 60.0 for p in design.input_ports() if p != "clk"
+    }
+    sta = STA(design, _property_lib(), constraints)
+    sta.report = sta.run()
+    return sta
+
+
+class TestStaInvariantProperties:
+    """STA invariants on randomly generated small DAGs."""
+
+    @given(seed=st.integers(0, 10_000), n_gates=st.integers(30, 90))
+    @settings(max_examples=8, deadline=None)
+    def test_pba_never_worse_than_gba(self, seed, n_gates):
+        """PBA applies path-specific slews and CPPR credit on top of the
+        GBA bound, so per-endpoint PBA slack >= GBA slack, always."""
+        sta = _random_sta(seed, n_gates, period=450.0)
+        assume(sta.report.endpoints("setup"))
+        for row in gba_vs_pba(sta, sta.report, n_endpoints=4, max_paths=16):
+            assert row.pba_slack >= row.gba_slack - 1e-9
+            assert row.pessimism_recovered >= -1e-9
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_gates=st.integers(30, 90),
+        period=st.floats(350.0, 650.0),
+        tighten=st.floats(10.0, 200.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_worst_slack_monotone_in_clock_period(self, seed, n_gates,
+                                                  period, tighten):
+        """Tightening the clock period can only hurt setup: every
+        endpoint's slack (and hence WNS/TNS) shifts down by exactly the
+        period delta; hold checks are same-edge and unaffected."""
+        sta = _random_sta(seed, n_gates, period=period)
+        assume(sta.report.endpoints("setup"))
+        tight = STA(sta.design, _property_lib(),
+                    sta.constraints.with_period(period - tighten))
+        tight_report = tight.run()
+
+        assert tight_report.wns("setup") <= \
+            sta.report.wns("setup") - tighten + 1e-6
+        assert tight_report.tns("setup") <= sta.report.tns("setup") + 1e-9
+        loose_slacks = {e.endpoint: e.slack
+                        for e in sta.report.endpoints("setup")}
+        for e in tight_report.endpoints("setup"):
+            assert e.slack == pytest.approx(
+                loose_slacks[e.endpoint] - tighten, abs=1e-6
+            )
+        assert tight_report.wns("hold") == \
+            pytest.approx(sta.report.wns("hold"), abs=1e-6)
 
 
 class TestUsefulSkewProperties:
