@@ -79,8 +79,10 @@ def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
     # Determinism: parallel fan-out changes nothing, byte for byte.
     assert _full_text(cold_serial) == _full_text(cold_parallel)
     assert cold_serial.render() == cold_parallel.render()
-    # Warm cache: zero scenarios recomputed, identical reports, faster.
+    # Warm cache: zero scenarios recomputed, identical reports. The
+    # recomputation counters are the assertion; wall times are recorded
+    # above but not asserted on (a loaded single-core runner can make
+    # any timing comparison flake without a code defect).
     assert warm.recomputed == []
     assert len(warm.cache_hits) == n_scenarios
     assert _full_text(warm) == _full_text(cold_serial)
-    assert t_warm < t_serial

@@ -26,6 +26,7 @@ bit-identical.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import enum
 import hashlib
@@ -126,19 +127,31 @@ def constraints_fingerprint(constraints: Constraints) -> str:
     return _digest(constraints)
 
 
+def library_fingerprint(library) -> str:
+    """Content hash of a library: condition metadata plus cell tables.
+
+    Every cell is hashed in full (pins, arcs, lookup tables), not just
+    counted, so a library mutated in place — cells added, removed or
+    re-characterized — changes the fingerprint and misses the cache. No
+    assumption about where the library came from is needed.
+    """
+    h = hashlib.sha256()
+    _feed(h, (library.name, library.process, library.vdd, library.temp_c,
+              library.default_max_transition))
+    for name in sorted(library.cells):
+        _feed(h, library.cells[name])
+    return h.hexdigest()
+
+
 def scenario_fingerprint(scenario) -> str:
     """Content hash of one scenario's corner parameters.
 
-    Covers the library identity and condition (name, process, vdd,
-    temperature, slew limit, cell count — the analytic library factory is
-    deterministic given its condition, so cell tables need not be
-    re-hashed), the BEOL corner, analysis temperature, derates and the
-    mode constraints.
+    Covers the library content (condition metadata and full cell timing
+    tables — see :func:`library_fingerprint`), the BEOL corner, analysis
+    temperature, derates and the mode constraints.
     """
-    lib = scenario.library
     return _digest(
-        (lib.name, lib.process, lib.vdd, lib.temp_c,
-         lib.default_max_transition, len(lib.cells)),
+        library_fingerprint(scenario.library),
         scenario.beol_corner_name,
         scenario.temp_c,
         scenario.derates,
@@ -222,8 +235,19 @@ class ScenarioResultCache:
 
 
 def _run_scenario_job(job):
-    """Module-level worker so process pools can pickle it."""
-    scenario, design, stack = job
+    """Module-level worker so process pools can pickle it.
+
+    ``isolate`` makes the worker analyze a private deep copy of the
+    design. Running STA *mutates* the design — :class:`~repro.sta.analysis.STA`
+    calls :meth:`Design.bind`, which rebuilds every net's driver/load
+    lists — so thread-pool workers sharing one Design object race:
+    one worker's re-bind momentarily nulls ``net.driver`` while another
+    is mid-propagation, crashing or silently corrupting slacks. Process
+    pools get this isolation for free from pickling; threads must copy.
+    """
+    scenario, design, stack, isolate = job
+    if isolate:
+        design = copy.deepcopy(design)
     return scenario.run(design, stack)
 
 
@@ -348,9 +372,14 @@ class SignoffScheduler:
             else:
                 todo.append((scenario, fp))
 
+        # Thread-pool workers share this process's Design object, and STA
+        # mutates it (bind rebuilds net driver/load lists) — give each
+        # worker its own copy. Serial and process paths need no copy.
+        isolate = (self.executor == "thread" and self.jobs > 1
+                   and len(todo) > 1)
         fresh = parallel_map(
             _run_scenario_job,
-            [(scenario, design, self.stack) for scenario, _ in todo],
+            [(scenario, design, self.stack, isolate) for scenario, _ in todo],
             jobs=self.jobs,
             executor=self.executor,
         )

@@ -14,6 +14,7 @@ from repro.sta.scheduler import (
     SignoffScheduler,
     constraints_fingerprint,
     design_fingerprint,
+    library_fingerprint,
     parallel_map,
     scenario_fingerprint,
 )
@@ -79,6 +80,27 @@ class TestDeterminism:
         for name in base.reports:
             assert base.reports[name].render_full() == \
                 fanned.reports[name].render_full()
+
+    def test_thread_pool_isolates_shared_design(self, lib, lib_ss):
+        """Stress the thread path on a block large enough to overlap
+        scenario propagation windows.
+
+        STA mutates the design it analyzes (bind rebuilds net
+        driver/load lists), so before workers were given private design
+        copies this raced: on ~1500-gate blocks with jobs=4 most runs
+        either crashed (AttributeError on a mid-rebind null driver) or
+        silently produced slacks different from serial. Small designs
+        finish each scenario before the next thread starts binding,
+        which is why only a large block exercises the overlap.
+        """
+        scenarios = make_scenarios(lib, lib_ss)
+        design = random_logic(n_inputs=16, n_outputs=16, n_gates=1500,
+                              n_levels=10, seed=9)
+        ref = slack_text(SignoffScheduler(scenarios, jobs=1).signoff(design))
+        for _ in range(3):
+            out = SignoffScheduler(scenarios, jobs=4,
+                                   executor="thread").signoff(design)
+            assert slack_text(out) == ref
 
     def test_parallel_map_preserves_order(self):
         assert parallel_map(lambda x: x * x, range(10), jobs=4) == \
@@ -194,6 +216,37 @@ class TestFingerprints:
         margin.flat_setup_margin = 12.0
         assert constraints_fingerprint(base) != \
             constraints_fingerprint(margin)
+
+    def test_library_fingerprint_sees_cell_table_mutation(self):
+        """In-place library edits must miss the cache, not hit stale.
+
+        The fingerprint hashes full cell contents, not just condition
+        metadata and cell count, so re-characterizing a cell (same name,
+        same count) changes it.
+        """
+        lib = make_library()
+        fp0 = library_fingerprint(lib)
+        assert fp0 == library_fingerprint(make_library())
+        cell = next(iter(lib.cells.values()))
+        cell.leakage *= 2.0
+        assert library_fingerprint(lib) != fp0
+
+        c = Constraints.single_clock(500.0)
+        s0 = scenario_fingerprint(Scenario("s", make_library(), c))
+        assert scenario_fingerprint(Scenario("s", lib, c)) != s0
+
+    def test_mutated_library_misses_cache(self):
+        lib = make_library()
+        c = Constraints.single_clock(520.0)
+        design = make_design()
+        cache = ScenarioResultCache()
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        scheduler.signoff(design)
+        arc = next(iter(lib.cells.values())).arcs[0]
+        arc.timing["rise"].delay.values *= 1.01
+        scheduler.signoff(design)
+        assert scheduler.evaluations == 2
+        assert cache.stats.hits == 0
 
     def test_scenario_fingerprint_sees_corner_params(self, lib, lib_ss):
         c = Constraints.single_clock(500.0)
