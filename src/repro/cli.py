@@ -3,7 +3,12 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro sta      --design rand --period 500
-    python -m repro signoff  --design rand --period 500 --jobs 4
+    python -m repro signoff  --design rand --period 500 --jobs 4 \\
+                             --retries 2 --timeout 120 \\
+                             --checkpoint run.journal --keep-going
+    python -m repro signoff  --design rand --period 500 \\
+                             --checkpoint run.journal --resume
+    python -m repro validate --design rand --period 500
     python -m repro closure  --design c5315 --period 430
     python -m repro library  --process ss --vdd 0.72 --temp 125 -o ss.lib
     python -m repro etm      --design rand --period 500
@@ -13,14 +18,23 @@ Usage (after ``pip install -e .``)::
 Designs are the synthetic generators (``rand``, ``c5315``, ``c7552``,
 ``aes``, ``mpeg2``, ``tiny``); libraries come from the analytic factory
 at the requested PVT condition.
+
+Exit codes distinguish outcomes so schedulers and CI can triage without
+parsing output: 0 = clean; 1 = timing (or validation) violations found;
+3 = signoff completed but with quarantined DEGRADED scenarios;
+4 = run failed (structured :class:`~repro.errors.ReproError` — printed
+as a one-line ``error:`` message, never a traceback). argparse keeps its
+conventional 2 for usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import ReproError, ValidationError
 from repro.liberty import LibraryCondition, make_library
 from repro.liberty.io import write_library
 from repro.netlist.design import Design
@@ -32,6 +46,11 @@ from repro.netlist.generators import (
     random_logic,
     tiny_design,
 )
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_DEGRADED = 3
+EXIT_FATAL = 4
 
 _DESIGNS: Dict[str, Callable[..., Design]] = {
     "tiny": lambda seed, gates: tiny_design(),
@@ -116,8 +135,10 @@ def _cmd_sta(args) -> int:
 
 
 def _cmd_signoff(args) -> int:
+    from repro.runtime import RetryPolicy, RunJournal
     from repro.sta.mcmm import standard_scenario_set
     from repro.sta.scheduler import ScenarioResultCache, SignoffScheduler
+    from repro.validate import ensure_valid
 
     design, _, constraints = _make_setup(args)
 
@@ -127,37 +148,111 @@ def _cmd_signoff(args) -> int:
         )
 
     scenario_set = standard_scenario_set(constraints, factory)
+
+    if not args.no_validate:
+        # Lint before spending compute: netlist/constraints once, plus
+        # every per-scenario library (each is a distinct PVT handoff).
+        for scenario in scenario_set.scenarios:
+            ensure_valid(design, scenario.library, scenario.constraints)
+
+    journal = None
+    if args.checkpoint:
+        if not args.resume and os.path.exists(args.checkpoint):
+            os.remove(args.checkpoint)  # fresh run: drop stale journal
+        journal = RunJournal(args.checkpoint)
+    elif args.resume:
+        raise ReproError("--resume requires --checkpoint PATH")
+
+    fault_injector = None
+    if args.inject_faults is not None:
+        from repro.testing import FaultPlan, FaultInjector
+
+        fault_injector = FaultInjector(FaultPlan.seeded(
+            args.inject_faults,
+            [s.name for s in scenario_set.scenarios],
+            crash_rate=0.2, hang_rate=0.1, persistent_rate=0.1,
+            hang_seconds=(args.timeout or 0.2) * 2,
+        ))
+
     scheduler = SignoffScheduler(
         scenario_set.scenarios,
         stack=scenario_set.stack,
         jobs=args.jobs,
         executor=args.executor,
-        cache=ScenarioResultCache(),
+        cache=ScenarioResultCache(verify=True),
+        policy=RetryPolicy(retries=args.retries, timeout_s=args.timeout),
+        journal=journal,
+        keep_going=args.keep_going,
+        fault_injector=fault_injector,
     )
     outcome = scheduler.signoff(design)
     print(outcome.render("setup"))
     print()
+    for event in outcome.events:
+        print(f"supervisor: {event}")
     print(
-        f"jobs: {args.jobs} ({args.executor}); recomputed "
+        f"jobs: {args.jobs} ({outcome.executor_used}); recomputed "
         f"{len(outcome.recomputed)}/{len(scenario_set.scenarios)} scenarios "
+        f"({len(outcome.journal_hits)} from checkpoint) "
         f"in {outcome.wall_time_s:.2f} s"
     )
+    if outcome.degraded:
+        return EXIT_DEGRADED
     result = outcome.result
     ok = result.merged_wns("setup") >= 0 and result.merged_wns("hold") >= 0
-    return 0 if ok else 1
+    return EXIT_CLEAN if ok else EXIT_VIOLATIONS
 
 
 def _cmd_closure(args) -> int:
     from repro.core.closure import ClosureConfig, ClosureEngine
+    from repro.runtime import RetryPolicy, RunJournal
+    from repro.validate import ensure_valid
 
     design, library, constraints = _make_setup(args)
-    engine = ClosureEngine(design, library, constraints)
+    if not args.no_validate:
+        ensure_valid(design, library, constraints)
+    journal = None
+    if args.checkpoint:
+        if not args.resume and os.path.exists(args.checkpoint):
+            os.remove(args.checkpoint)
+        journal = RunJournal(args.checkpoint)
+    elif args.resume:
+        raise ReproError("--resume requires --checkpoint PATH")
+    engine = ClosureEngine(
+        design, library, constraints,
+        policy=RetryPolicy(retries=args.retries),
+        journal=journal,
+    )
     result = engine.run(
         ClosureConfig(max_iterations=args.iterations,
-                      budget_per_fix=args.budget)
+                      budget_per_fix=args.budget),
+        resume=args.resume,
     )
     print(result.render())
-    return 0 if result.converged else 1
+    if result.aborted:
+        return EXIT_DEGRADED
+    return EXIT_CLEAN if result.converged else EXIT_VIOLATIONS
+
+
+def _cmd_validate(args) -> int:
+    from repro.liberty.io import parse_library
+    from repro.validate import validate_setup
+
+    design, library, constraints = _make_setup(args)
+    if args.library_file:
+        try:
+            with open(args.library_file, "r", encoding="utf-8") as handle:
+                library = parse_library(handle.read())
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read library file: {exc}",
+                path=args.library_file,
+            ) from exc
+    report = validate_setup(design, library, constraints)
+    print(f"validating design {design.name!r} against library "
+          f"{library.name!r}")
+    print(report.render())
+    return EXIT_CLEAN if report.ok else EXIT_VIOLATIONS
 
 
 def _cmd_library(args) -> int:
@@ -232,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sig.add_argument("--executor", default="thread",
                        choices=["serial", "thread", "process"],
                        help="worker pool flavor")
+    p_sig.add_argument("--retries", type=int, default=2,
+                       help="retry attempts per scenario after a failure")
+    p_sig.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget, seconds")
+    p_sig.add_argument("--checkpoint", metavar="PATH",
+                       help="journal completed scenarios to PATH")
+    p_sig.add_argument("--resume", action="store_true",
+                       help="reuse scenarios already in the checkpoint "
+                            "journal instead of recomputing them")
+    p_sig.add_argument("--keep-going", action="store_true",
+                       help="quarantine DEGRADED scenarios and finish the "
+                            "batch (exit 3) instead of failing (exit 4)")
+    p_sig.add_argument("--no-validate", action="store_true",
+                       help="skip the pre-run netlist/library/constraint "
+                            "lint")
+    p_sig.add_argument("--inject-faults", type=int, metavar="SEED",
+                       default=None,
+                       help="chaos testing: inject a seeded, deterministic "
+                            "fault plan (crashes/hangs) into the workers")
     p_sig.set_defaults(func=_cmd_signoff)
 
     p_clo = sub.add_parser("closure", help="run the Fig 1 closure loop")
@@ -240,7 +354,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_clo.add_argument("--iterations", type=int, default=5)
     p_clo.add_argument("--budget", type=int, default=20,
                        help="edits per fix engine per iteration")
+    p_clo.add_argument("--retries", type=int, default=2,
+                       help="retry attempts per STA pass after a crash")
+    p_clo.add_argument("--checkpoint", metavar="PATH",
+                       help="journal completed iterations to PATH")
+    p_clo.add_argument("--resume", action="store_true",
+                       help="continue from the last journaled iteration")
+    p_clo.add_argument("--no-validate", action="store_true",
+                       help="skip the pre-run lint")
     p_clo.set_defaults(func=_cmd_closure)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="pre-run lint of netlist, library and constraints",
+    )
+    _add_design_args(p_val)
+    _add_library_args(p_val)
+    p_val.add_argument("--library-file", metavar="PATH",
+                       help="lint a Liberty-lite file instead of the "
+                            "analytic factory library")
+    p_val.set_defaults(func=_cmd_validate)
 
     p_lib = sub.add_parser("library", help="emit a Liberty-lite library")
     _add_library_args(p_lib)
@@ -265,7 +398,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for issue in exc.issues:
+            print(f"  {issue.render()}", file=sys.stderr)
+        return EXIT_FATAL
+    except ReproError as exc:
+        # Structured failure: one line with context, never a traceback.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ iterations" — hence the default ``max_iterations=5`` and the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +23,8 @@ from repro.errors import ClosureError
 from repro.liberty.library import Library
 from repro.netlist.design import Design
 from repro.netlist.transforms import Edit
+from repro.runtime.journal import RunJournal
+from repro.runtime.supervisor import RetryPolicy
 from repro.sta.analysis import STA
 from repro.sta.constraints import Constraints
 from repro.sta.propagation import Derates
@@ -84,9 +87,15 @@ class ClosureReport:
     """The loop's trajectory and outcome."""
 
     iterations: List[IterationRecord]
-    final: TimingReport
+    final: Optional[TimingReport]
     converged: bool
     schedule_days: float
+    #: Set when the loop stopped early because STA kept failing after
+    #: every retry: "ErrorClass: message". The trajectory up to the last
+    #: healthy iteration is still reported (and journaled).
+    aborted: Optional[str] = None
+    #: Iterations replayed from a checkpoint journal instead of re-run.
+    resumed_iterations: int = 0
 
     @property
     def initial_wns(self) -> float:
@@ -94,6 +103,8 @@ class ClosureReport:
 
     @property
     def final_wns(self) -> float:
+        if self.final is None:  # aborted before any STA pass completed
+            return float("nan")
         return self.final.wns("setup")
 
     def trajectory(self, metric: str = "wns_setup") -> List[float]:
@@ -116,11 +127,28 @@ class ClosureReport:
             f"{self.schedule_days:.0f} days "
             f"({'converged' if self.converged else 'NOT closed'})"
         )
+        if self.aborted:
+            lines.append(f"ABORTED: {self.aborted}")
+        if self.resumed_iterations:
+            lines.append(
+                f"resumed from checkpoint: {self.resumed_iterations} "
+                f"iteration(s) replayed without recomputation"
+            )
         return "\n".join(lines)
 
 
 class ClosureEngine:
-    """Drives the Fig 1 loop for one design and scenario."""
+    """Drives the Fig 1 loop for one design and scenario.
+
+    The loop is supervised: an STA pass that crashes is retried per
+    ``policy`` (with backoff) before the loop gives up; a loop that
+    still cannot analyze returns its partial trajectory with
+    :attr:`ClosureReport.aborted` set instead of losing everything.
+    With a ``journal``, each completed iteration checkpoints the
+    (records, design) state to disk, and ``run(..., resume=True)``
+    continues a killed run from its last completed iteration — only the
+    remaining iterations recompute.
+    """
 
     def __init__(
         self,
@@ -132,6 +160,9 @@ class ClosureEngine:
         temp_c: Optional[float] = None,
         derates: Optional[Derates] = None,
         si_enabled: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        fault_injector=None,
     ):
         self.design = design
         self.library = library
@@ -141,28 +172,113 @@ class ClosureEngine:
         self.temp_c = temp_c
         self.derates = derates
         self.si_enabled = si_enabled
+        self.policy = policy or RetryPolicy(retries=0)
+        self.journal = journal
+        self.fault_injector = fault_injector
+        #: Successful STA passes this engine executed (the recomputation
+        #: counter checkpoint/resume tests assert against).
+        self.sta_runs = 0
+        #: All STA attempts including failed/retried ones.
+        self.sta_attempts = 0
 
-    def _run_sta(self) -> STA:
-        sta = STA(
-            self.design,
-            self.library,
-            self.constraints,
-            stack=self.stack,
-            beol_corner=self.beol_corner,
-            temp_c=self.temp_c,
-            derates=self.derates,
-            si_enabled=self.si_enabled,
+    def _run_fingerprint(self, config: ClosureConfig) -> str:
+        """Content identity of one closure run: initial netlist, library,
+        constraints and loop policy. Journal entries are keyed by it, so
+        a checkpoint recorded for different inputs can never be resumed
+        into this run."""
+        from repro.sta.scheduler import (
+            constraints_fingerprint,
+            design_fingerprint,
+            library_fingerprint,
         )
-        sta.report = sta.run()
-        return sta
 
-    def run(self, config: Optional[ClosureConfig] = None) -> ClosureReport:
-        """Execute the closure loop."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for part in (
+            design_fingerprint(self.design),
+            library_fingerprint(self.library),
+            constraints_fingerprint(self.constraints),
+            repr((config.max_iterations, tuple(config.fix_order),
+                  config.budget_per_fix, config.endpoint_limit,
+                  config.stop_when_clean, self.si_enabled)),
+        ):
+            h.update(part.encode())
+        return h.hexdigest()
+
+    def _run_sta(self, label: str = "sta") -> STA:
+        """One supervised STA pass: retry with backoff on crashes."""
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.sta_attempts += 1
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire(label, attempt)
+                sta = STA(
+                    self.design,
+                    self.library,
+                    self.constraints,
+                    stack=self.stack,
+                    beol_corner=self.beol_corner,
+                    temp_c=self.temp_c,
+                    derates=self.derates,
+                    si_enabled=self.si_enabled,
+                )
+                sta.report = sta.run()
+            except Exception as exc:  # noqa: BLE001 - quarantined below
+                last_error = exc
+                if attempt < self.policy.max_attempts:
+                    time.sleep(self.policy.delay(attempt))
+                continue
+            self.sta_runs += 1
+            return sta
+        raise ClosureError(
+            f"STA failed after {self.policy.max_attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+            stage=label,
+            attempts=self.policy.max_attempts,
+        )
+
+    def run(self, config: Optional[ClosureConfig] = None,
+            resume: bool = False) -> ClosureReport:
+        """Execute the closure loop (optionally resuming a checkpoint)."""
         config = config or ClosureConfig()
+        run_key = (
+            self._run_fingerprint(config) if self.journal is not None
+            else ""
+        )
         records: List[IterationRecord] = []
-        sta = self._run_sta()
+        resumed = 0
+        if resume and self.journal is not None:
+            for it in range(config.max_iterations, 0, -1):
+                payload = self.journal.lookup("closure", (run_key, it))
+                if payload is not None:
+                    records = list(payload["records"])
+                    self.design = payload["design"]
+                    # useful_skew edits constraints (per-flop clock
+                    # latency), so the checkpoint carries them too.
+                    if "constraints" in payload:
+                        self.constraints = payload["constraints"]
+                    resumed = it
+                    break
+        first_iteration = resumed + 1
 
-        for iteration in range(1, config.max_iterations + 1):
+        try:
+            sta = self._run_sta(label=f"iter{first_iteration}")
+        except ClosureError as exc:
+            if not records:
+                raise
+            return ClosureReport(
+                iterations=records,
+                final=None,
+                converged=False,
+                schedule_days=len(records) * config.days_per_iteration,
+                aborted=f"{type(exc).__name__}: {exc}",
+                resumed_iterations=resumed,
+            )
+        aborted: Optional[str] = None
+
+        for iteration in range(first_iteration, config.max_iterations + 1):
             report = sta.report
             breakdown = dict(report.violation_breakdown("setup"))
             for key, count in report.violation_breakdown("hold").items():
@@ -201,10 +317,22 @@ class ClosureEngine:
                     record.edits[fix_name] = len(edits)
             if record.total_edits == 0:
                 break  # nothing left to try
-            sta = self._run_sta()
+            try:
+                sta = self._run_sta(label=f"iter{iteration + 1}")
+            except ClosureError as exc:
+                # Persistent STA failure mid-loop: keep the trajectory
+                # up to the last healthy iteration instead of losing it.
+                aborted = f"{type(exc).__name__}: {exc}"
+                break
+            if self.journal is not None:
+                self.journal.record(
+                    "closure", (run_key, iteration),
+                    {"records": records, "design": self.design,
+                     "constraints": self.constraints},
+                )
 
         final = sta.report
-        converged = (
+        converged = aborted is None and (
             not final.violations("setup")
             and not final.violations("hold")
             and not final.slew_violations
@@ -214,4 +342,6 @@ class ClosureEngine:
             final=final,
             converged=converged,
             schedule_days=len(records) * config.days_per_iteration,
+            aborted=aborted,
+            resumed_iterations=resumed,
         )

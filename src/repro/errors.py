@@ -2,13 +2,47 @@
 
 All library errors derive from :class:`ReproError` so callers can catch a
 single base class. Subclasses indicate which subsystem raised the error.
+
+Errors are *structured*: every :class:`ReproError` accepts keyword
+context (``scenario=...``, ``attempt=...``, ``fingerprint=...``) that is
+preserved on the exception object and rendered into its message. The
+fault-tolerant runtime (:mod:`repro.runtime`) relies on this to report a
+quarantined scenario with enough forensic detail to reproduce the
+failure without the original traceback.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Args:
+        message: human-readable description.
+        **context: structured key/value forensic context (scenario name,
+            content fingerprint, attempt number, ...). Rendered into
+            ``str(error)`` and preserved in :attr:`context`.
+    """
+
+    def __init__(self, message: str = "", **context: Any):
+        self.message = message
+        self.context: Dict[str, Any] = dict(context)
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        detail = ", ".join(
+            f"{key}={self.context[key]!r}" for key in sorted(self.context)
+        )
+        return f"{self.message} [{detail}]"
+
+    def with_context(self, **context: Any) -> "ReproError":
+        """Attach additional forensic context in place; returns self."""
+        self.context.update(context)
+        return self
 
 
 class SimulationError(ReproError):
@@ -45,3 +79,66 @@ class ClosureError(ReproError):
 
 class SignoffError(ReproError):
     """Raised by the signoff-criteria engine."""
+
+
+# ---------------------------------------------------------------------- #
+# validation
+
+
+class ValidationError(ReproError):
+    """Raised by the pre-run lint pass (:mod:`repro.validate`).
+
+    Carries the full list of :class:`repro.validate.ValidationIssue`
+    objects on :attr:`issues` so callers can render or triage them.
+    """
+
+    def __init__(self, message: str = "", issues=None, **context: Any):
+        super().__init__(message, **context)
+        self.issues = list(issues or [])
+
+
+# ---------------------------------------------------------------------- #
+# supervised execution runtime
+
+
+class ExecutionError(ReproError):
+    """Base class for supervised-runtime failures (:mod:`repro.runtime`)."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker raised (or died) while evaluating one task attempt."""
+
+
+class WorkerTimeoutError(ExecutionError):
+    """A task attempt exceeded its per-attempt wall-clock budget."""
+
+
+class ExecutorBrokenError(ExecutionError):
+    """The worker pool itself died (e.g. a process pool lost a child).
+
+    The supervisor treats this as an infrastructure failure rather than a
+    task failure: it falls back to the next executor flavor
+    (process -> thread -> serial) without charging any task an attempt.
+    """
+
+
+class TaskDegradedError(ExecutionError):
+    """A task exhausted every retry attempt and was quarantined.
+
+    Context carries ``task``, ``attempts`` and the final underlying
+    error; raised to the caller only when supervision runs with
+    ``keep_going=False``.
+    """
+
+
+class InjectedFaultError(WorkerCrashError):
+    """A deterministic fault from :mod:`repro.testing.faults` fired.
+
+    Subclassing :class:`WorkerCrashError` means the supervisor handles an
+    injected crash exactly like a real one — the chaos suite exercises
+    the production recovery paths, not special-cased test paths.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised by the journal-based checkpoint/resume layer."""

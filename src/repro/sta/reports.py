@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -223,6 +224,17 @@ class TimingReport:
                 f"slew {v.slew:12.4f} limit {v.limit:12.4f}"
             )
         return "\n".join(lines)
+
+    def content_digest(self) -> str:
+        """SHA-256 of the full rendered report.
+
+        Two reports with identical timing content share a digest; any
+        mutation of any endpoint changes it. The scenario result cache
+        uses this to detect in-place corruption of cached reports
+        (``ScenarioResultCache(verify=True)``): the digest is taken at
+        store time and re-checked at lookup time.
+        """
+        return hashlib.sha256(self.render_full().encode()).hexdigest()
 
     def violation_breakdown(self, mode: str = "setup") -> Dict[str, int]:
         """Fig 1's 'breakdown of timing failures': violating endpoints

@@ -39,8 +39,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.beol.stack import BeolStack, default_stack
-from repro.errors import TimingError
+from repro.errors import SignoffError, TimingError
 from repro.netlist.design import Design
+from repro.runtime.journal import RunJournal
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    SupervisedExecutor,
+    SupervisedTask,
+    TaskStatus,
+)
 from repro.sta.constraints import Constraints
 from repro.sta.reports import TimingReport
 
@@ -171,10 +178,19 @@ class CacheStats:
     misses: int = 0
     evaluations: int = 0
     invalidations: int = 0
+    #: entries dropped because their content digest no longer matched
+    #: (in-place corruption caught by ``verify=True``).
+    corruptions: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    report: TimingReport
+    digest: Optional[str] = None  # content digest at store time
 
 
 class ScenarioResultCache:
@@ -185,34 +201,55 @@ class ScenarioResultCache:
     while the design *name* supports eager invalidation — an ECO on a
     live design drops every snapshot taken of it, old content never
     recurs.
+
+    Recency is true LRU: both :meth:`store` and :meth:`lookup` refresh
+    an entry's position, so the entry evicted at ``max_entries`` is the
+    least recently *used*, not merely the oldest stored.
+
+    ``verify=True`` arms integrity checking: each report's content
+    digest is taken at store time and re-checked at lookup time; a
+    mismatch (a cached object mutated behind the cache's back) drops the
+    entry and reports a miss instead of serving corrupt timing.
     """
 
-    def __init__(self, max_entries: int = 512):
+    def __init__(self, max_entries: int = 512, verify: bool = False):
         if max_entries < 1:
             raise TimingError("cache needs at least one entry")
         self.max_entries = max_entries
-        self._store: "OrderedDict[Tuple[str, str, str], TimingReport]" = \
+        self.verify = verify
+        self._store: "OrderedDict[Tuple[str, str, str], _CacheEntry]" = \
             OrderedDict()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._store)
 
+    def keys(self) -> List[Tuple[str, str, str]]:
+        """Cached keys from least to most recently used."""
+        return list(self._store)
+
     def lookup(self, design_name: str, design_fp: str,
                scenario_fp: str) -> Optional[TimingReport]:
         key = (design_name, design_fp, scenario_fp)
-        report = self._store.get(key)
-        if report is None:
+        entry = self._store.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self.verify and entry.digest is not None \
+                and entry.report.content_digest() != entry.digest:
+            del self._store[key]
+            self.stats.corruptions += 1
             self.stats.misses += 1
             return None
         self._store.move_to_end(key)
         self.stats.hits += 1
-        return report
+        return entry.report
 
     def store(self, design_name: str, design_fp: str, scenario_fp: str,
               report: TimingReport) -> None:
         key = (design_name, design_fp, scenario_fp)
-        self._store[key] = report
+        digest = report.content_digest() if self.verify else None
+        self._store[key] = _CacheEntry(report=report, digest=digest)
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
@@ -234,7 +271,7 @@ class ScenarioResultCache:
 # executor
 
 
-def _run_scenario_job(job):
+def _run_scenario_job(job, attempt: int = 1):
     """Module-level worker so process pools can pickle it.
 
     ``isolate`` makes the worker analyze a private deep copy of the
@@ -244,8 +281,17 @@ def _run_scenario_job(job):
     one worker's re-bind momentarily nulls ``net.driver`` while another
     is mid-propagation, crashing or silently corrupting slacks. Process
     pools get this isolation for free from pickling; threads must copy.
+    Abandoned (timed-out) attempts are a third overlap source: the hung
+    worker may still be binding when the retry starts, so supervision
+    with timeouts also forces isolation.
+
+    ``injector`` (a :class:`repro.testing.faults.FaultInjector`) fires
+    planned faults at (scenario, attempt) coordinates before analysis —
+    the hook the chaos suite drives crash/hang/pool-death recovery with.
     """
-    scenario, design, stack, isolate = job
+    scenario, design, stack, isolate, injector = job
+    if injector is not None:
+        injector.fire(scenario.name, attempt)
     if isolate:
         design = copy.deepcopy(design)
     return scenario.run(design, stack)
@@ -278,44 +324,117 @@ def parallel_map(fn: Callable, items: Iterable, jobs: int = 1,
 # the scheduler
 
 
+class ScenarioStatus(enum.Enum):
+    """How one scenario's report came to be (or failed to)."""
+
+    OK = "ok"              # computed first try
+    CACHED = "cached"      # served from the in-memory result cache
+    JOURNALED = "journaled"  # restored from the on-disk checkpoint journal
+    RETRIED = "retried"    # computed after at least one failed attempt
+    DEGRADED = "degraded"  # quarantined: every attempt failed
+
+
+@dataclass
+class ScenarioRecord:
+    """Supervision bookkeeping for one scenario of one signoff pass."""
+
+    name: str
+    status: ScenarioStatus
+    attempts: int = 1
+    fingerprint: str = ""
+    error: Optional[str] = None  # "ErrorClass: message" when DEGRADED
+    error_chain: List[str] = field(default_factory=list)
+
+
 @dataclass
 class SignoffOutcome:
-    """One signoff pass: merged results plus scheduling bookkeeping."""
+    """One signoff pass: merged results plus scheduling bookkeeping.
+
+    ``reports`` holds only *successful* scenarios; quarantined ones
+    appear in ``degraded`` (and in ``records`` with their structured
+    error). A clean pass has ``degraded == []``.
+    """
 
     reports: Dict[str, TimingReport]
     cache_hits: List[str]
     recomputed: List[str]
     jobs: int
     wall_time_s: float = 0.0
+    records: Dict[str, ScenarioRecord] = field(default_factory=dict)
+    degraded: List[str] = field(default_factory=list)
+    journal_hits: List[str] = field(default_factory=list)
+    executor_used: str = ""
+    fallbacks: List[str] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.degraded
 
     @property
     def result(self):
         from repro.sta.mcmm import McmmResult
 
+        if not self.reports:
+            raise SignoffError(
+                "no scenario succeeded; nothing to merge",
+                degraded=list(self.degraded),
+            )
         return McmmResult(reports=self.reports)
+
+    def _status_label(self, name: str) -> str:
+        record = self.records.get(name)
+        return record.status.value.upper() if record else "OK"
 
     def render(self, mode: str = "setup") -> str:
         """Deterministic signoff table — byte-identical for any job
-        count or cache state (wall time deliberately excluded)."""
-        lines = [f"{'scenario':<24} {'WNS':>10} {'TNS':>12} {'viol':>6}"]
-        for name in sorted(self.reports):
-            report = self.reports[name]
+        count (wall time deliberately excluded). Degraded scenarios show
+        their structured error instead of slacks."""
+        lines = [f"{'scenario':<24} {'status':<10} {'WNS':>10} "
+                 f"{'TNS':>12} {'viol':>6}"]
+        for name in sorted(set(self.reports) | set(self.degraded)):
+            status = self._status_label(name)
+            if name in self.reports:
+                report = self.reports[name]
+                lines.append(
+                    f"{name:<24} {status:<10} {report.wns(mode):10.3f} "
+                    f"{report.tns(mode):12.3f} "
+                    f"{report.violation_count(mode):6d}"
+                )
+            else:
+                record = self.records[name]
+                lines.append(
+                    f"{name:<24} {status:<10} {'-':>10} {'-':>12} {'-':>6}  "
+                    f"{record.error or 'unknown failure'}"
+                )
+        if self.reports:
+            result = self.result
             lines.append(
-                f"{name:<24} {report.wns(mode):10.3f} "
-                f"{report.tns(mode):12.3f} "
-                f"{report.violation_count(mode):6d}"
+                f"{'merged':<24} {'':<10} {result.merged_wns(mode):10.3f} "
+                f"{result.merged_tns(mode):12.3f}"
             )
-        result = self.result
-        lines.append(
-            f"{'merged':<24} {result.merged_wns(mode):10.3f} "
-            f"{result.merged_tns(mode):12.3f}"
-        )
-        lines.append(f"worst scenario: {result.worst_scenario(mode)}")
+            lines.append(f"worst scenario: {result.worst_scenario(mode)}")
+        else:
+            lines.append("no scenario succeeded; nothing to merge")
+        if self.degraded:
+            lines.append(
+                f"DEGRADED: {len(self.degraded)}/{len(self.records)} "
+                f"scenario(s) quarantined"
+            )
         return "\n".join(lines)
 
 
 class SignoffScheduler:
     """Runs an MCMM scenario set in parallel with result caching.
+
+    Beyond fan-out and caching, the scheduler is *supervised*: scenario
+    attempts that crash or exceed ``policy.timeout_s`` are retried with
+    exponential backoff; a scenario that exhausts its attempts is
+    quarantined as DEGRADED (reported with its structured error) instead
+    of aborting the batch; a dead worker pool falls back
+    process -> thread -> serial; and an optional on-disk journal
+    checkpoints each completed scenario so a killed run resumes from
+    where it died.
 
     Args:
         scenarios: the MCMM views to sign off (unique names).
@@ -324,6 +443,15 @@ class SignoffScheduler:
         executor: "thread" (default), "process", or "serial".
         cache: a shared :class:`ScenarioResultCache`; None disables
             caching (every scenario recomputes every pass).
+        policy: retry/timeout policy; default = 2 retries, no timeout.
+        journal: a :class:`~repro.runtime.journal.RunJournal` for
+            checkpoint/resume; None disables journaling.
+        keep_going: False raises :class:`~repro.errors.SignoffError`
+            after the batch if any scenario degraded (the journal still
+            records every success first, so a re-run resumes).
+        fault_injector: a :class:`repro.testing.faults.FaultInjector`
+            firing planned faults inside workers (chaos testing).
+        allow_fallback: permit executor downgrade on pool death.
     """
 
     def __init__(
@@ -333,6 +461,11 @@ class SignoffScheduler:
         jobs: int = 1,
         executor: str = "thread",
         cache: Optional[ScenarioResultCache] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        keep_going: bool = True,
+        fault_injector=None,
+        allow_fallback: bool = True,
     ):
         if not scenarios:
             raise TimingError("signoff needs at least one scenario")
@@ -350,54 +483,147 @@ class SignoffScheduler:
         self.jobs = jobs
         self.executor = executor
         self.cache = cache
+        self.policy = policy or RetryPolicy()
+        self.journal = journal
+        self.keep_going = keep_going
+        self.fault_injector = fault_injector
+        self.allow_fallback = allow_fallback
         #: Scenario STA evaluations actually performed (cache misses);
         #: the call counter the regression tests assert against.
         self.evaluations = 0
+        #: Individual attempts, including failed ones (>= evaluations).
+        self.attempts = 0
+
+    def _needs_isolation(self, todo_count: int) -> bool:
+        """Must workers analyze private design copies?
+
+        STA mutates the design it analyzes (bind rebuilds net
+        driver/load lists), so isolation is required whenever two
+        analyses can overlap in this process: parallel thread workers,
+        or an abandoned (timed-out / hung) attempt still running while
+        its retry starts. The process executor is included too because
+        pool death falls it back to threads.
+        """
+        if self.policy.timeout_s is not None or \
+                self.fault_injector is not None:
+            return True
+        return self.jobs > 1 and todo_count > 1 and self.executor != "serial"
 
     def signoff(self, design: Design) -> SignoffOutcome:
         """Run (or reuse) every scenario and merge the results."""
         t0 = time.perf_counter()
         design_fp = design_fingerprint(design)
         reports: Dict[str, TimingReport] = {}
+        records: Dict[str, ScenarioRecord] = {}
         hits: List[str] = []
+        journal_hits: List[str] = []
         todo = []
         for scenario in self.scenarios:
             fp = scenario_fingerprint(scenario)
+            key = (design.name, design_fp, fp)
             cached = None
             if self.cache is not None:
-                cached = self.cache.lookup(design.name, design_fp, fp)
+                cached = self.cache.lookup(*key)
             if cached is not None:
                 reports[scenario.name] = cached
                 hits.append(scenario.name)
-            else:
-                todo.append((scenario, fp))
+                records[scenario.name] = ScenarioRecord(
+                    name=scenario.name, status=ScenarioStatus.CACHED,
+                    fingerprint=fp,
+                )
+                continue
+            if self.journal is not None:
+                entry = self.journal.lookup("scenario", key)
+                if entry is not None:
+                    reports[scenario.name] = entry
+                    journal_hits.append(scenario.name)
+                    records[scenario.name] = ScenarioRecord(
+                        name=scenario.name, status=ScenarioStatus.JOURNALED,
+                        fingerprint=fp,
+                    )
+                    if self.cache is not None:
+                        self.cache.store(*key, entry)
+                    continue
+            todo.append((scenario, fp))
 
-        # Thread-pool workers share this process's Design object, and STA
-        # mutates it (bind rebuilds net driver/load lists) — give each
-        # worker its own copy. Serial and process paths need no copy.
-        isolate = (self.executor == "thread" and self.jobs > 1
-                   and len(todo) > 1)
-        fresh = parallel_map(
-            _run_scenario_job,
-            [(scenario, design, self.stack, isolate) for scenario, _ in todo],
+        isolate = self._needs_isolation(len(todo))
+        events: List[str] = []
+        supervisor = SupervisedExecutor(
             jobs=self.jobs,
             executor=self.executor,
+            policy=self.policy,
+            allow_fallback=self.allow_fallback,
+            on_event=events.append,
         )
+        executions = supervisor.run([
+            SupervisedTask(
+                name=scenario.name,
+                fn=_run_scenario_job,
+                payload=(scenario, design, self.stack, isolate,
+                         self.fault_injector),
+            )
+            for scenario, _ in todo
+        ])
         self.evaluations += len(todo)
-        for (scenario, fp), report in zip(todo, fresh):
-            reports[scenario.name] = report
-            if self.cache is not None:
-                self.cache.store(design.name, design_fp, fp, report)
-                self.cache.stats.evaluations += 1
 
-        ordered = {s.name: reports[s.name] for s in self.scenarios}
-        return SignoffOutcome(
+        recomputed: List[str] = []
+        degraded: List[str] = []
+        for (scenario, fp), execution in zip(todo, executions):
+            self.attempts += execution.attempts
+            key = (design.name, design_fp, fp)
+            if execution.status is TaskStatus.DEGRADED:
+                degraded.append(scenario.name)
+                records[scenario.name] = ScenarioRecord(
+                    name=scenario.name, status=ScenarioStatus.DEGRADED,
+                    attempts=execution.attempts, fingerprint=fp,
+                    error=(f"{type(execution.error).__name__}: "
+                           f"{execution.error}"),
+                    error_chain=list(execution.error_chain),
+                )
+                continue
+            report = execution.result
+            reports[scenario.name] = report
+            recomputed.append(scenario.name)
+            status = (ScenarioStatus.OK
+                      if execution.status is TaskStatus.OK
+                      else ScenarioStatus.RETRIED)
+            records[scenario.name] = ScenarioRecord(
+                name=scenario.name, status=status,
+                attempts=execution.attempts, fingerprint=fp,
+                error_chain=list(execution.error_chain),
+            )
+            if self.cache is not None:
+                self.cache.store(*key, report)
+                self.cache.stats.evaluations += 1
+            if self.journal is not None:
+                self.journal.record("scenario", key, report)
+
+        ordered = {
+            s.name: reports[s.name] for s in self.scenarios
+            if s.name in reports
+        }
+        outcome = SignoffOutcome(
             reports=ordered,
             cache_hits=hits,
-            recomputed=[s.name for s, _ in todo],
+            recomputed=recomputed,
             jobs=self.jobs,
             wall_time_s=time.perf_counter() - t0,
+            records=records,
+            degraded=degraded,
+            journal_hits=journal_hits,
+            executor_used=supervisor.executor_used,
+            fallbacks=list(supervisor.fallbacks),
+            events=events,
         )
+        if degraded and not self.keep_going:
+            # Every success is already cached and journaled, so the
+            # aborted batch resumes from here.
+            raise SignoffError(
+                f"{len(degraded)} scenario(s) degraded and "
+                "keep_going is disabled",
+                scenarios=sorted(degraded),
+            )
+        return outcome
 
     def run(self, design: Design):
         """McmmResult-only convenience wrapper over :meth:`signoff`."""

@@ -1,0 +1,17 @@
+"""Deterministic chaos-testing utilities for the fault-tolerant runtime."""
+
+from repro.testing.faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    corrupt_cache_entry,
+    malform_library,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "corrupt_cache_entry",
+    "malform_library",
+]

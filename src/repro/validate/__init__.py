@@ -1,0 +1,28 @@
+"""Pre-run validation: lint netlist, library and constraints before STA.
+
+See :mod:`repro.validate.checks` for the check catalogue. The CLI
+exposes this as ``python -m repro validate``; the signoff and closure
+commands run it automatically before spending compute.
+"""
+
+from repro.validate.checks import (
+    Severity,
+    ValidationIssue,
+    ValidationReport,
+    ensure_valid,
+    validate_constraints,
+    validate_design,
+    validate_library,
+    validate_setup,
+)
+
+__all__ = [
+    "Severity",
+    "ValidationIssue",
+    "ValidationReport",
+    "ensure_valid",
+    "validate_constraints",
+    "validate_design",
+    "validate_library",
+    "validate_setup",
+]

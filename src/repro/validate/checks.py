@@ -1,0 +1,281 @@
+"""Pre-run lint checks for netlists, libraries and constraints.
+
+A signoff batch that dies twenty minutes in on a malformed input is the
+most expensive way to discover a NaN. These checks run in milliseconds
+before any STA and report *every* problem at once as structured
+:class:`ValidationIssue` objects — severity, domain, a stable machine
+code, and the offending subject — instead of the first traceback.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.liberty.cell import PinDirection
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      # analysis would crash or produce garbage
+    WARNING = "warning"  # suspicious but analyzable
+
+    def __lt__(self, other):
+        order = {"error": 0, "warning": 1}
+        return order[self.value] < order[other.value]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One lint finding."""
+
+    severity: Severity
+    domain: str   # "netlist" | "library" | "constraints"
+    code: str     # stable machine-readable identifier
+    subject: str  # offending object (instance, cell, net, port...)
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.severity.value.upper():<7} [{self.domain}/"
+                f"{self.code}] {self.subject}: {self.message}")
+
+
+@dataclass
+class ValidationReport:
+    """All findings of one validation pass."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.issues.sort(key=lambda i: (i.severity, i.domain, i.code,
+                                        i.subject))
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity is Severity.WARNING]
+
+    def render(self) -> str:
+        if not self.issues:
+            return "validation clean: no issues"
+        lines = [i.render() for i in self.issues]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def _issue(issues, severity, domain, code, subject, message):
+    issues.append(ValidationIssue(severity, domain, code, subject, message))
+
+
+# ---------------------------------------------------------------------- #
+# netlist
+
+
+def validate_design(design, library=None) -> List[ValidationIssue]:
+    """Structural netlist lint; library-aware checks need ``library``."""
+    issues: List[ValidationIssue] = []
+    if not design.instances and not design.ports:
+        _issue(issues, Severity.ERROR, "netlist", "empty-design",
+               design.name, "design has no instances and no ports")
+        return issues
+
+    # driver census per net, resolved from library pin directions (works
+    # on unbound designs: bind() itself needs a healthy netlist).
+    drivers: Dict[str, List[str]] = {}
+    loads: Dict[str, List[str]] = {}
+    for port, direction in design.ports.items():
+        target = drivers if direction.value == "input" else loads
+        target.setdefault(port, []).append(f"port {port}")
+
+    for inst in design.instances.values():
+        cell = None
+        if library is not None:
+            cell = library.cells.get(inst.cell_name)
+            if cell is None:
+                _issue(issues, Severity.ERROR, "netlist", "unknown-cell",
+                       inst.name,
+                       f"references cell {inst.cell_name!r} absent from "
+                       f"library {library.name}")
+        for pin_name, net_name in inst.connections.items():
+            ref = f"{inst.name}/{pin_name}"
+            if cell is not None:
+                pin = cell.pins.get(pin_name)
+                if pin is None:
+                    _issue(issues, Severity.ERROR, "netlist", "unknown-pin",
+                           ref,
+                           f"cell {cell.name} has no pin {pin_name!r}")
+                    continue
+                target = (drivers if pin.direction is PinDirection.OUTPUT
+                          else loads)
+                target.setdefault(net_name, []).append(ref)
+        if cell is not None:
+            for pin_name in cell.pins:
+                if pin_name not in inst.connections:
+                    _issue(issues, Severity.ERROR, "netlist",
+                           "unconnected-pin", f"{inst.name}/{pin_name}",
+                           f"pin of cell {cell.name} is unconnected")
+
+    if library is not None:
+        for net_name, who in sorted(drivers.items()):
+            if len(who) > 1:
+                _issue(issues, Severity.ERROR, "netlist", "multi-driver",
+                       net_name, f"driven by {', '.join(sorted(who))}")
+        for net_name, who in sorted(loads.items()):
+            if net_name not in drivers:
+                _issue(issues, Severity.ERROR, "netlist", "undriven-net",
+                       net_name,
+                       f"has {len(who)} load(s) but no driver")
+        for net_name in sorted(drivers):
+            if net_name not in loads:
+                _issue(issues, Severity.WARNING, "netlist", "dangling-net",
+                       net_name, "driven but drives nothing")
+    return issues
+
+
+# ---------------------------------------------------------------------- #
+# library
+
+
+def _table_issues(issues, cell_name, label, table) -> None:
+    values = np.asarray(table.values, dtype=float)
+    if not np.all(np.isfinite(values)):
+        _issue(issues, Severity.ERROR, "library", "non-finite-table",
+               cell_name, f"{label} contains NaN/inf values")
+    elif float(values.min()) < 0.0:
+        _issue(issues, Severity.ERROR, "library", "negative-delay",
+               cell_name,
+               f"{label} has negative entries (min {values.min():.3f})")
+
+
+def validate_library(library) -> List[ValidationIssue]:
+    """Lint one characterized library."""
+    issues: List[ValidationIssue] = []
+    if not library.cells:
+        _issue(issues, Severity.ERROR, "library", "empty-library",
+               library.name, "library has no cells")
+        return issues
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        for pin in cell.pins.values():
+            if not math.isfinite(pin.capacitance) or pin.capacitance < 0:
+                _issue(issues, Severity.ERROR, "library", "bad-capacitance",
+                       f"{name}/{pin.name}",
+                       f"pin capacitance {pin.capacitance!r} is invalid")
+        for arc in cell.arcs:
+            for endpoint in (arc.related_pin, arc.pin):
+                if endpoint not in cell.pins:
+                    _issue(issues, Severity.ERROR, "library",
+                           "arc-pin-missing", name,
+                           f"arc {arc.related_pin}->{arc.pin} references "
+                           f"missing pin {endpoint!r}")
+            for direction, timing in sorted(arc.timing.items()):
+                label = f"arc {arc.related_pin}->{arc.pin} {direction}"
+                _table_issues(issues, name, f"{label} delay", timing.delay)
+                _table_issues(issues, name, f"{label} slew", timing.slew)
+            for direction, table in sorted(arc.constraint.items()):
+                values = np.asarray(table.values, dtype=float)
+                if not np.all(np.isfinite(values)):
+                    _issue(issues, Severity.ERROR, "library",
+                           "non-finite-table", name,
+                           f"constraint {arc.related_pin}->{arc.pin} "
+                           f"{direction} contains NaN/inf values")
+        if not cell.arcs and not cell.is_sequential:
+            _issue(issues, Severity.WARNING, "library", "arcless-cell",
+                   name, "combinational cell has no timing arcs")
+    return issues
+
+
+# ---------------------------------------------------------------------- #
+# constraints
+
+
+def validate_constraints(constraints, design=None) -> List[ValidationIssue]:
+    """Lint one SDC-lite constraint set, optionally against a design."""
+    issues: List[ValidationIssue] = []
+    if not constraints.clocks:
+        _issue(issues, Severity.ERROR, "constraints", "no-clock",
+               "(constraints)", "no clock is defined")
+    min_period = min(
+        (c.period for c in constraints.clocks.values()), default=math.inf
+    )
+    ports = set(design.ports) if design is not None else None
+    inputs = set(design.input_ports()) if design is not None else None
+    for clock in constraints.clocks.values():
+        if inputs is not None and clock.port not in inputs:
+            _issue(issues, Severity.ERROR, "constraints",
+                   "clock-port-missing", clock.name,
+                   f"clock enters at {clock.port!r}, not an input port "
+                   f"of {design.name}")
+        if clock.uncertainty_setup >= clock.period:
+            _issue(issues, Severity.ERROR, "constraints",
+                   "uncertainty-exceeds-period", clock.name,
+                   f"setup uncertainty {clock.uncertainty_setup} ps >= "
+                   f"period {clock.period} ps")
+    for label, delays in (("input-delay", constraints.input_delays),
+                          ("output-delay", constraints.output_delays)):
+        for port, delay in sorted(delays.items()):
+            if ports is not None and port not in ports:
+                _issue(issues, Severity.ERROR, "constraints",
+                       f"{label}-unknown-port", port,
+                       f"{label} on a port the design does not have")
+            if delay < 0:
+                _issue(issues, Severity.ERROR, "constraints",
+                       f"{label}-negative", port,
+                       f"{label} {delay} ps is negative")
+            elif delay >= min_period:
+                _issue(issues, Severity.WARNING, "constraints",
+                       f"{label}-exceeds-period", port,
+                       f"{label} {delay} ps >= clock period "
+                       f"{min_period} ps")
+    if constraints.max_transition is not None \
+            and constraints.max_transition <= 0:
+        _issue(issues, Severity.ERROR, "constraints", "bad-max-transition",
+               "(constraints)",
+               f"max_transition {constraints.max_transition} must be "
+               "positive")
+    return issues
+
+
+# ---------------------------------------------------------------------- #
+# entry points
+
+
+def validate_setup(design, library, constraints) -> ValidationReport:
+    """Full pre-run lint of one (netlist, library, constraints) triple."""
+    issues = (
+        validate_library(library)
+        + validate_design(design, library)
+        + validate_constraints(constraints, design)
+    )
+    return ValidationReport(issues=issues)
+
+
+def ensure_valid(design, library, constraints,
+                 report: Optional[ValidationReport] = None) -> ValidationReport:
+    """Validate and raise :class:`ValidationError` on any ERROR finding."""
+    if report is None:
+        report = validate_setup(design, library, constraints)
+    if not report.ok:
+        first = report.errors[0]
+        raise ValidationError(
+            f"pre-run validation failed with {len(report.errors)} "
+            f"error(s); first: [{first.domain}/{first.code}] "
+            f"{first.subject}: {first.message}",
+            issues=report.issues,
+            design=design.name,
+            library=library.name,
+        )
+    return report

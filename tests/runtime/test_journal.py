@@ -1,0 +1,157 @@
+"""Tests for the append-only checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.journal import RunJournal
+
+
+class TestRoundtrip:
+    def test_record_lookup(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record("scenario", ("chip", "abc", "fp1"), {"wns": -12.5})
+        assert journal.lookup("scenario", ("chip", "abc", "fp1")) == {
+            "wns": -12.5
+        }
+        assert journal.lookup("scenario", ("chip", "abc", "fp2")) is None
+        assert journal.lookup("closure", ("chip", "abc", "fp1")) is None
+
+    def test_survives_reload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), {"x": 1})
+        journal.record("scenario", ("b",), {"x": 2})
+        journal.record("closure", ("a", 1), [1, 2, 3])
+
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 3
+        assert reloaded.lookup("scenario", ("b",)) == {"x": 2}
+        assert reloaded.lookup("closure", ("a", 1)) == [1, 2, 3]
+        assert reloaded.corrupt_entries == 0
+
+    def test_rerecord_overwrites(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record("scenario", ("a",), {"x": 1})
+        journal.record("scenario", ("a",), {"x": 2})
+        assert journal.lookup("scenario", ("a",)) == {"x": 2}
+        # on reload the later line wins too
+        assert RunJournal(journal.path).lookup("scenario", ("a",)) == {"x": 2}
+
+    def test_lookup_returns_fresh_copies(self, tmp_path):
+        """Journaled state must not alias live objects the caller keeps
+        mutating (closure checkpoints a design that changes every
+        iteration)."""
+        journal = RunJournal(tmp_path / "run.jsonl")
+        payload = {"edits": [1, 2]}
+        journal.record("closure", ("k", 1), payload)
+        payload["edits"].append(3)  # caller keeps mutating
+        assert journal.lookup("closure", ("k", 1)) == {"edits": [1, 2]}
+        # and each lookup is an independent copy
+        first = journal.lookup("closure", ("k", 1))
+        first["edits"].clear()
+        assert journal.lookup("closure", ("k", 1)) == {"edits": [1, 2]}
+
+    def test_keys_and_count(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record("scenario", ("a",), 1)
+        journal.record("scenario", ("b",), 2)
+        journal.record("closure", ("c", 3), 3)
+        assert journal.keys("scenario") == [("a",), ("b",)]
+        assert journal.count("scenario") == 2
+        assert journal.count() == 3
+
+    def test_list_keys_normalized_to_tuples(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record("scenario", ["a", ["b", 1]], "payload")
+        assert journal.lookup("scenario", ("a", ("b", 1))) == "payload"
+        # and survives the JSON round-trip on reload
+        assert RunJournal(journal.path).lookup(
+            "scenario", ("a", ("b", 1))
+        ) == "payload"
+
+    def test_non_plain_key_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        with pytest.raises(CheckpointError):
+            journal.record("scenario", (object(),), 1)
+
+    def test_unpicklable_payload_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        with pytest.raises(CheckpointError):
+            journal.record("scenario", ("a",), lambda: None)
+        # nothing half-written
+        assert len(journal) == 0
+
+
+class TestCrashSafety:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        """A SIGKILL mid-write leaves a truncated final line; every
+        intact entry before it must still load."""
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), {"x": 1})
+        journal.record("scenario", ("b",), {"x": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "kind": "scenario", "key": ["c"], "sh')
+
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 2
+        assert reloaded.corrupt_entries == 1
+        assert reloaded.lookup("scenario", ("a",)) == {"x": 1}
+        assert reloaded.lookup("scenario", ("c",)) is None
+
+    def test_corrupted_payload_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), {"x": 1})
+        journal.record("scenario", ("b",), {"x": 2})
+
+        # flip the payload of the first line without fixing its sha
+        lines = path.read_text().splitlines()
+        row = json.loads(lines[0])
+        row["data"] = row["data"][:-4] + "AAA="
+        lines[0] = json.dumps(row)
+        path.write_text("\n".join(lines) + "\n")
+
+        reloaded = RunJournal(path)
+        assert reloaded.corrupt_entries == 1
+        assert reloaded.lookup("scenario", ("a",)) is None
+        assert reloaded.lookup("scenario", ("b",)) == {"x": 2}
+
+    def test_version_mismatch_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), 1)
+        lines = path.read_text().splitlines()
+        row = json.loads(lines[0])
+        row["v"] = 99
+        path.write_text(json.dumps(row) + "\n")
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 0
+        assert reloaded.corrupt_entries == 1
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        reloaded = RunJournal(path)
+        assert len(reloaded) == 1
+        assert reloaded.corrupt_entries == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "does-not-exist.jsonl")
+        assert len(journal) == 0
+        assert journal.lookup("scenario", ("a",)) is None
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("scenario", ("a",), 1)
+        assert path.exists()
+        journal.clear()
+        assert not path.exists()
+        assert len(journal) == 0
+        assert len(RunJournal(path)) == 0

@@ -168,6 +168,53 @@ class TestCache:
             scheduler.signoff(make_design(seed=seed))
         assert len(cache) == 2
 
+    def test_lru_eviction_order_is_least_recently_used(self, lib):
+        """Eviction is true LRU: a lookup refreshes recency, so the
+        entry evicted at capacity is the least recently *used*, not the
+        oldest stored."""
+        c = Constraints.single_clock(520.0)
+        cache = ScenarioResultCache(max_entries=2)
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        designs = {seed: make_design(seed=seed) for seed in (1, 2, 3)}
+
+        scheduler.signoff(designs[1])  # cache: [1]
+        scheduler.signoff(designs[2])  # cache: [1, 2]
+        scheduler.signoff(designs[1])  # HIT: refreshes 1 -> [2, 1]
+        assert scheduler.evaluations == 2
+
+        scheduler.signoff(designs[3])  # at capacity: evicts 2, not 1
+        assert scheduler.evaluations == 3
+        scheduler.signoff(designs[1])  # still cached
+        assert scheduler.evaluations == 3
+        scheduler.signoff(designs[2])  # was evicted: recomputes
+        assert scheduler.evaluations == 4
+
+    def test_lookup_touch_moves_entry_to_mru(self, lib):
+        """The recency refresh is observable directly on the cache:
+        after a lookup the touched key is at the MRU end of keys()."""
+        c = Constraints.single_clock(520.0)
+        cache = ScenarioResultCache(max_entries=8)
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        scheduler.signoff(make_design(seed=1))
+        scheduler.signoff(make_design(seed=2))
+
+        lru_key = cache.keys()[0]
+        assert cache.lookup(*lru_key) is not None
+        assert cache.keys()[-1] == lru_key
+
+    def test_store_refreshes_existing_entry(self, lib):
+        c = Constraints.single_clock(520.0)
+        cache = ScenarioResultCache(max_entries=8)
+        scheduler = SignoffScheduler([Scenario("tt", lib, c)], cache=cache)
+        scheduler.signoff(make_design(seed=1))
+        scheduler.signoff(make_design(seed=2))
+
+        oldest = cache.keys()[0]
+        report = cache._store[oldest].report
+        cache.store(*oldest, report)  # re-store touches recency too
+        assert cache.keys()[-1] == oldest
+        assert len(cache) == 2
+
     def test_incremental_timer_invalidates(self, lib):
         c = Constraints.single_clock(520.0)
         design = make_design()

@@ -1,0 +1,117 @@
+"""Acceptance test: a multi-corner signoff killed with SIGKILL resumes
+from its journal, recomputing only the un-journaled scenarios.
+
+The assertion is count-based (scenario evaluations), never wall-clock:
+``resumed.evaluations == total - journaled``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import random_logic
+from repro.runtime.journal import RunJournal
+from repro.sta import Constraints
+from repro.sta.mcmm import standard_scenario_set
+from repro.sta.scheduler import SignoffScheduler
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Must mirror the CLI defaults the subprocess runs with
+# (``repro signoff --design rand --gates 260 --seed 1 --period 500``).
+GATES, SEED, PERIOD, INPUT_DELAY = 260, 1, 500.0, 60.0
+
+
+def cli_setup():
+    design = random_logic(n_gates=GATES, n_levels=max(4, GATES // 30),
+                          seed=SEED)
+    constraints = Constraints.single_clock(PERIOD)
+    constraints.input_delays = {
+        p: INPUT_DELAY for p in design.input_ports() if p != "clk"
+    }
+
+    def factory(process, vdd, temp):
+        return make_library(
+            LibraryCondition(process=process, vdd=vdd, temp_c=temp)
+        )
+
+    return design, standard_scenario_set(constraints, factory)
+
+
+def test_sigkilled_signoff_resumes_from_journal(tmp_path):
+    journal_path = tmp_path / "signoff.journal"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "signoff",
+            "--design", "rand", "--gates", str(GATES),
+            "--seed", str(SEED), "--period", str(PERIOD),
+            "--jobs", "1", "--no-validate",
+            "--checkpoint", str(journal_path),
+        ],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+    # Wait for at least one journaled scenario, then SIGKILL mid-batch.
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before we could kill it (still valid)
+            if journal_path.exists() and \
+                    RunJournal(journal_path).count("scenario") >= 1:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("subprocess journaled nothing within 120 s")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    # The on-disk journal holds every *completed* scenario; a torn final
+    # line (killed mid-write) is tolerated, not trusted.
+    journal = RunJournal(journal_path)
+    journaled = journal.count("scenario")
+    assert journaled >= 1
+
+    # Resume in-process over the identical inputs: only the un-journaled
+    # scenarios recompute. Asserted by recomputation counts.
+    design, scenario_set = cli_setup()
+    total = len(scenario_set.scenarios)
+    assert journaled <= total
+
+    scheduler = SignoffScheduler(
+        scenario_set.scenarios, stack=scenario_set.stack,
+        journal=journal,
+    )
+    outcome = scheduler.signoff(design)
+
+    assert scheduler.evaluations == total - journaled
+    assert len(outcome.journal_hits) == journaled
+    assert len(outcome.recomputed) == total - journaled
+    assert sorted(outcome.reports) == sorted(
+        s.name for s in scenario_set.scenarios
+    )
+
+    # A second resume recomputes nothing at all.
+    again = SignoffScheduler(
+        scenario_set.scenarios, stack=scenario_set.stack,
+        journal=RunJournal(journal_path),
+    )
+    outcome2 = again.signoff(design)
+    assert again.evaluations == 0
+    assert len(outcome2.journal_hits) == total
+    for name in outcome.reports:
+        assert outcome.reports[name].render_full() == \
+            outcome2.reports[name].render_full()
