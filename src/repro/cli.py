@@ -225,7 +225,8 @@ def _cmd_closure(args) -> int:
     )
     result = engine.run(
         ClosureConfig(max_iterations=args.iterations,
-                      budget_per_fix=args.budget),
+                      budget_per_fix=args.budget,
+                      timing=args.timing),
         resume=args.resume,
     )
     print(result.render())
@@ -354,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_clo.add_argument("--iterations", type=int, default=5)
     p_clo.add_argument("--budget", type=int, default=20,
                        help="edits per fix engine per iteration")
+    p_clo.add_argument("--timing", default="incremental",
+                       choices=["incremental", "full"],
+                       help="re-time edits cone-limited through a warm "
+                            "incremental timer (default) or rebuild a "
+                            "fresh STA every iteration")
     p_clo.add_argument("--retries", type=int, default=2,
                        help="retry attempts per STA pass after a crash")
     p_clo.add_argument("--checkpoint", metavar="PATH",

@@ -1,9 +1,24 @@
 """The iterative timing-closure loop (the paper's Fig 1, executable).
 
 Each iteration: run STA, break down the failures, apply the fix list in
-the MacDonald ordering — simplest (least disruptive) first — then re-run
+the MacDonald ordering — simplest (least disruptive) first — then re-time
 and record the trajectory. The loop stops when clean, when the iteration
 budget (schedule!) runs out, or when an iteration makes no edits.
+
+The timer side is *incremental* by default (the paper's Comment 1:
+physically-aware ECO tooling). The fix order is grouped into stages of
+contiguous engines: a stage whose edits all preserve instance
+footprints (Vt-swap, sizing) re-times only the edited cells' downstream
+cones through a warm :class:`~repro.sta.incremental.IncrementalTimer`;
+a stage that changes topology or constraints (buffering, NDR, useful
+skew) falls back to the timer's honest full update. Because cone
+updates are cheap, the loop re-times *between* stages, so each engine
+sees fresh timing instead of compounding fixes on stale slack. One
+registered timer per scenario lives in a :class:`~repro.sta.scheduler.
+ScenarioTimerPool` and warm-starts across iterations instead of
+re-binding a fresh STA each pass; ``ClosureConfig(timing="full")``
+runs the same staged loop but rebuilds a fresh STA at every stage
+boundary (the benchmark baseline).
 
 The footnote of Fig 1 maps iterations to schedule: "three weeks for the
 final pass permits five three-day repair and signoff analysis
@@ -15,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.beol.corners import BeolCorner
 from repro.beol.stack import BeolStack
@@ -27,9 +42,16 @@ from repro.runtime.journal import RunJournal
 from repro.runtime.supervisor import RetryPolicy
 from repro.sta.analysis import STA
 from repro.sta.constraints import Constraints
+from repro.sta.incremental import TIMER_STATE_VERSION
 from repro.sta.propagation import Derates
 from repro.sta.reports import TimingReport
-from repro.core.fixes import FIX_ENGINES, FixContext
+from repro.sta.scheduler import ScenarioTimerPool
+from repro.core.fixes import (
+    FIX_ENGINES,
+    FOOTPRINT_PRESERVING_ENGINES,
+    FixContext,
+    classify_edits,
+)
 
 DEFAULT_FIX_ORDER = (
     "vt_swap",
@@ -40,6 +62,30 @@ DEFAULT_FIX_ORDER = (
     "slew",
     "hold_buffering",
 )
+
+#: Valid ``ClosureConfig.timing`` values.
+TIMING_MODES = ("incremental", "full")
+
+
+def fix_stages(fix_order: Sequence[str]) -> List[Tuple[str, ...]]:
+    """Group a fix order into contiguous retime stages.
+
+    Consecutive footprint-preserving engines share a stage (one cone
+    retime absorbs all their swaps); a run of topology-changing engines
+    forms its own stage (one full retime absorbs it). The loop re-times
+    at every stage boundary, so the grouping controls both how often
+    timing refreshes and which retimes can stay cone-limited.
+    """
+    stages: List[List[str]] = []
+    last_fp: Optional[bool] = None
+    for name in fix_order:
+        fp = name in FOOTPRINT_PRESERVING_ENGINES
+        if stages and fp == last_fp:
+            stages[-1].append(name)
+        else:
+            stages.append([name])
+        last_fp = fp
+    return [tuple(stage) for stage in stages]
 
 
 @dataclass
@@ -52,6 +98,13 @@ class ClosureConfig:
     endpoint_limit: int = 10
     days_per_iteration: float = 3.0
     stop_when_clean: bool = True
+    #: "incremental" re-times cone-limited through a warm timer where the
+    #: edit set allows it; "full" rebuilds a fresh STA every iteration.
+    #: Both modes produce identical trajectories and final reports — the
+    #: equivalence suite pins that — so the mode is deliberately *not*
+    #: part of the checkpoint fingerprint: either mode may resume a
+    #: checkpoint the other wrote.
+    timing: str = "incremental"
 
     def __post_init__(self):
         unknown = [f for f in self.fix_order if f not in FIX_ENGINES]
@@ -59,6 +112,11 @@ class ClosureConfig:
             raise ClosureError(
                 f"unknown fix engines {unknown}; "
                 f"available: {sorted(FIX_ENGINES)}"
+            )
+        if self.timing not in TIMING_MODES:
+            raise ClosureError(
+                f"unknown timing mode {self.timing!r}; "
+                f"pick from {TIMING_MODES}"
             )
 
 
@@ -76,6 +134,22 @@ class IterationRecord:
     edits: Dict[str, int] = field(default_factory=dict)
     #: Fig 1's "breakdown of timing failures" for this iteration.
     breakdown: Dict[str, int] = field(default_factory=dict)
+    #: How this iteration's stage edits were re-timed: "incremental"
+    #: (cone updates on the warm timer only), "full" (warm timer's full
+    #: update only), "mixed" (both kinds of stage), "rebuild" (fresh
+    #: STA per stage, the timing="full" mode), or "" when the loop
+    #: stopped here (clean / out of edits / aborted).
+    retime_engine: str = ""
+    #: Cone retimes / full retimes absorbed this iteration's stages.
+    incremental_retimes: int = 0
+    full_retimes: int = 0
+    #: Pins re-propagated across this iteration's cone retimes.
+    cone_size: int = 0
+    #: Mean cone share of the timing-pin count over this iteration's
+    #: incremental retimes (0.0 when none ran).
+    cone_fraction: float = 0.0
+    #: Wall-clock of the retimes absorbing this iteration's edits, s.
+    retime_s: float = 0.0
 
     @property
     def total_edits(self) -> int:
@@ -96,6 +170,17 @@ class ClosureReport:
     aborted: Optional[str] = None
     #: Iterations replayed from a checkpoint journal instead of re-run.
     resumed_iterations: int = 0
+    #: Retimes served cone-limited by the warm incremental timer.
+    incremental_retimes: int = 0
+    #: Retimes that re-ran fully (topology change, fallback, or
+    #: timing="full" rebuilds).
+    full_retimes: int = 0
+    #: incremental_retimes / (incremental_retimes + full_retimes).
+    reuse_ratio: float = 0.0
+    #: Total wall-clock spent inside timing updates (not fix engines), s.
+    timing_wall_s: float = 0.0
+    #: Timing-graph pin count of the design under closure.
+    pin_count: int = 0
 
     @property
     def initial_wns(self) -> float:
@@ -107,26 +192,56 @@ class ClosureReport:
             return float("nan")
         return self.final.wns("setup")
 
+    @property
+    def mean_cone_fraction(self) -> float:
+        """Mean cone share of the incremental retimes (0.0 when none)."""
+        total = sum(rec.incremental_retimes for rec in self.iterations)
+        if not total:
+            return 0.0
+        weighted = sum(
+            rec.cone_fraction * rec.incremental_retimes
+            for rec in self.iterations
+        )
+        return weighted / total
+
     def trajectory(self, metric: str = "wns_setup") -> List[float]:
         return [getattr(rec, metric) for rec in self.iterations]
+
+    def _retime_label(self, rec: IterationRecord) -> str:
+        if rec.incremental_retimes:
+            cone = (f"cone {rec.cone_size}p "
+                    f"({rec.cone_fraction:.0%})")
+            if rec.full_retimes:
+                cone += f" + {rec.full_retimes} full"
+            return cone
+        return rec.retime_engine or "-"
 
     def render(self) -> str:
         lines = [
             f"{'iter':>4} {'WNS':>9} {'TNS':>11} {'#setup':>7} "
-            f"{'#hold':>6} {'#slew':>6} {'edits':>6}"
+            f"{'#hold':>6} {'#slew':>6} {'edits':>6}  retime"
         ]
         for rec in self.iterations:
             lines.append(
                 f"{rec.iteration:>4} {rec.wns_setup:9.2f} "
                 f"{rec.tns_setup:11.2f} {rec.setup_violations:>7} "
                 f"{rec.hold_violations:>6} {rec.slew_violations:>6} "
-                f"{rec.total_edits:>6}"
+                f"{rec.total_edits:>6}  {self._retime_label(rec)}"
             )
         lines.append(
             f"final WNS {self.final_wns:.2f} ps after "
             f"{self.schedule_days:.0f} days "
             f"({'converged' if self.converged else 'NOT closed'})"
         )
+        retimes = self.incremental_retimes + self.full_retimes
+        if retimes:
+            lines.append(
+                f"timing: {self.incremental_retimes} incremental / "
+                f"{self.full_retimes} full retime(s), reuse "
+                f"{self.reuse_ratio:.0%}, mean cone "
+                f"{self.mean_cone_fraction:.1%} of {self.pin_count} pins, "
+                f"{self.timing_wall_s:.2f} s in timing"
+            )
         if self.aborted:
             lines.append(f"ABORTED: {self.aborted}")
         if self.resumed_iterations:
@@ -147,7 +262,9 @@ class ClosureEngine:
     With a ``journal``, each completed iteration checkpoints the
     (records, design) state to disk, and ``run(..., resume=True)``
     continues a killed run from its last completed iteration — only the
-    remaining iterations recompute.
+    remaining iterations recompute. Checkpoints stamp the incremental
+    timer's state version; since live timer state is never serialized,
+    a resume always rebuilds its timer from a full STA pass.
     """
 
     def __init__(
@@ -175,17 +292,22 @@ class ClosureEngine:
         self.policy = policy or RetryPolicy(retries=0)
         self.journal = journal
         self.fault_injector = fault_injector
-        #: Successful STA passes this engine executed (the recomputation
-        #: counter checkpoint/resume tests assert against).
+        #: Warm per-scenario incremental timers (timing="incremental").
+        self.timer_pool = ScenarioTimerPool()
+        #: Successful timing passes this engine executed — fresh STA
+        #: builds *and* warm retimes (the recomputation counter
+        #: checkpoint/resume tests assert against).
         self.sta_runs = 0
-        #: All STA attempts including failed/retried ones.
+        #: All timing attempts including failed/retried ones.
         self.sta_attempts = 0
 
     def _run_fingerprint(self, config: ClosureConfig) -> str:
         """Content identity of one closure run: initial netlist, library,
         constraints and loop policy. Journal entries are keyed by it, so
         a checkpoint recorded for different inputs can never be resumed
-        into this run."""
+        into this run. The timing mode is excluded on purpose —
+        incremental and full retiming are equivalent by contract, so
+        either may resume the other's checkpoint."""
         from repro.sta.scheduler import (
             constraints_fingerprint,
             design_fingerprint,
@@ -206,6 +328,19 @@ class ClosureEngine:
             h.update(part.encode())
         return h.hexdigest()
 
+    def _build_sta(self) -> STA:
+        """One unsupervised STA construction over the current state."""
+        return STA(
+            self.design,
+            self.library,
+            self.constraints,
+            stack=self.stack,
+            beol_corner=self.beol_corner,
+            temp_c=self.temp_c,
+            derates=self.derates,
+            si_enabled=self.si_enabled,
+        )
+
     def _run_sta(self, label: str = "sta") -> STA:
         """One supervised STA pass: retry with backoff on crashes."""
         last_error: Optional[Exception] = None
@@ -214,16 +349,7 @@ class ClosureEngine:
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.fire(label, attempt)
-                sta = STA(
-                    self.design,
-                    self.library,
-                    self.constraints,
-                    stack=self.stack,
-                    beol_corner=self.beol_corner,
-                    temp_c=self.temp_c,
-                    derates=self.derates,
-                    si_enabled=self.si_enabled,
-                )
+                sta = self._build_sta()
                 sta.report = sta.run()
             except Exception as exc:  # noqa: BLE001 - quarantined below
                 last_error = exc
@@ -239,10 +365,58 @@ class ClosureEngine:
             attempts=self.policy.max_attempts,
         )
 
+    def _retime(
+        self,
+        scenario_name: str,
+        swapped: Sequence[str],
+        topology_changed: bool,
+        label: str,
+    ) -> Tuple[TimingReport, str]:
+        """One supervised warm retime through the timer pool.
+
+        Returns ``(report, engine_used)`` where ``engine_used`` is
+        "incremental" or "full". A crashed attempt discards the warm
+        timer (its mid-update state is not trusted) so the retry
+        rebuilds from scratch; exhaustion raises :class:`ClosureError`
+        exactly like :meth:`_run_sta`.
+        """
+        pool = self.timer_pool
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.sta_attempts += 1
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire(label, attempt)
+                before = pool.incremental_retimes
+                report = pool.retime(
+                    scenario_name,
+                    edited_instances=swapped,
+                    topology_changed=topology_changed,
+                    build=self._build_sta,
+                )
+            except Exception as exc:  # noqa: BLE001 - quarantined below
+                last_error = exc
+                pool.discard(scenario_name)
+                if attempt < self.policy.max_attempts:
+                    time.sleep(self.policy.delay(attempt))
+                continue
+            self.sta_runs += 1
+            engine = ("incremental" if pool.incremental_retimes > before
+                      else "full")
+            return report, engine
+        raise ClosureError(
+            f"STA failed after {self.policy.max_attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+            stage=label,
+            attempts=self.policy.max_attempts,
+        )
+
     def run(self, config: Optional[ClosureConfig] = None,
             resume: bool = False) -> ClosureReport:
         """Execute the closure loop (optionally resuming a checkpoint)."""
         config = config or ClosureConfig()
+        incremental = config.timing == "incremental"
+        scenario_name = self.library.name
         run_key = (
             self._run_fingerprint(config) if self.journal is not None
             else ""
@@ -259,6 +433,10 @@ class ClosureEngine:
                     # latency), so the checkpoint carries them too.
                     if "constraints" in payload:
                         self.constraints = payload["constraints"]
+                    # Live timer state is never checkpointed — only its
+                    # version stamp — so whatever the stamp says, resume
+                    # falls back to a full rebuild below. A future state
+                    # snapshot would be trusted only on an exact match.
                     resumed = it
                     break
         first_iteration = resumed + 1
@@ -276,7 +454,14 @@ class ClosureEngine:
                 aborted=f"{type(exc).__name__}: {exc}",
                 resumed_iterations=resumed,
             )
+        if incremental:
+            # One registered timer per scenario, warm across iterations.
+            self.timer_pool.discard(scenario_name)
+            self.timer_pool.adopt(scenario_name, sta)
         aborted: Optional[str] = None
+        timing_wall_s = 0.0
+        incremental_retimes = 0
+        full_retimes = 0
 
         for iteration in range(first_iteration, config.max_iterations + 1):
             report = sta.report
@@ -303,32 +488,82 @@ class ClosureEngine:
             if clean and config.stop_when_clean:
                 break
 
-            ctx = FixContext(
-                design=self.design,
-                library=self.library,
-                sta=sta,
-                report=report,
-                budget=config.budget_per_fix,
-                endpoint_limit=config.endpoint_limit,
-            )
-            for fix_name in config.fix_order:
-                edits = FIX_ENGINES[fix_name](ctx)
-                if edits:
-                    record.edits[fix_name] = len(edits)
+            cone_fractions: List[float] = []
+            for stage in fix_stages(config.fix_order):
+                # Each stage gets a fresh view: the previous stage's
+                # retime already refreshed sta.report, so engines never
+                # compound fixes on stale slack.
+                ctx = FixContext(
+                    design=self.design,
+                    library=self.library,
+                    sta=sta,
+                    report=sta.report,
+                    budget=config.budget_per_fix,
+                    endpoint_limit=config.endpoint_limit,
+                )
+                stage_edits: List[Edit] = []
+                for fix_name in stage:
+                    edits = FIX_ENGINES[fix_name](ctx)
+                    if edits:
+                        record.edits[fix_name] = len(edits)
+                        stage_edits.extend(edits)
+                if not stage_edits:
+                    continue
+                swapped, topology_changed = classify_edits(stage_edits)
+                t0 = time.perf_counter()
+                try:
+                    if incremental:
+                        _, engine_used = self._retime(
+                            scenario_name, swapped, topology_changed,
+                            label=f"iter{iteration + 1}",
+                        )
+                        sta = self.timer_pool.get(scenario_name).sta
+                    else:
+                        sta = self._run_sta(label=f"iter{iteration + 1}")
+                        engine_used = "rebuild"
+                except ClosureError as exc:
+                    # Persistent STA failure mid-loop: keep the
+                    # trajectory up to the last healthy iteration
+                    # instead of losing everything.
+                    aborted = f"{type(exc).__name__}: {exc}"
+                    break
+                record.retime_s += time.perf_counter() - t0
+                pin_count = len(sta.graph.topo_order)
+                if engine_used == "incremental":
+                    record.incremental_retimes += 1
+                    timer = self.timer_pool.get(scenario_name)
+                    record.cone_size += timer.last_cone_size
+                    cone_fractions.append(
+                        timer.last_cone_size / pin_count
+                        if pin_count else 0.0
+                    )
+                else:
+                    record.full_retimes += 1
             if record.total_edits == 0:
                 break  # nothing left to try
-            try:
-                sta = self._run_sta(label=f"iter{iteration + 1}")
-            except ClosureError as exc:
-                # Persistent STA failure mid-loop: keep the trajectory
-                # up to the last healthy iteration instead of losing it.
-                aborted = f"{type(exc).__name__}: {exc}"
+            timing_wall_s += record.retime_s
+            incremental_retimes += record.incremental_retimes
+            full_retimes += record.full_retimes
+            if cone_fractions:
+                record.cone_fraction = (
+                    sum(cone_fractions) / len(cone_fractions)
+                )
+            if record.incremental_retimes and record.full_retimes:
+                record.retime_engine = "mixed"
+            elif record.incremental_retimes:
+                record.retime_engine = "incremental"
+            elif record.full_retimes:
+                record.retime_engine = (
+                    "full" if incremental else "rebuild"
+                )
+            if aborted is not None:
                 break
             if self.journal is not None:
                 self.journal.record(
                     "closure", (run_key, iteration),
                     {"records": records, "design": self.design,
-                     "constraints": self.constraints},
+                     "constraints": self.constraints,
+                     "timer_state": {"version": TIMER_STATE_VERSION}},
                 )
 
         final = sta.report
@@ -337,6 +572,7 @@ class ClosureEngine:
             and not final.violations("hold")
             and not final.slew_violations
         )
+        retimes = incremental_retimes + full_retimes
         return ClosureReport(
             iterations=records,
             final=final,
@@ -344,4 +580,9 @@ class ClosureEngine:
             schedule_days=len(records) * config.days_per_iteration,
             aborted=aborted,
             resumed_iterations=resumed,
+            incremental_retimes=incremental_retimes,
+            full_retimes=full_retimes,
+            reuse_ratio=incremental_retimes / retimes if retimes else 0.0,
+            timing_wall_s=timing_wall_s,
+            pin_count=len(sta.graph.topo_order),
         )

@@ -73,6 +73,10 @@ class STA:
         )
         self.graph = TimingGraph(design, library, constraints)
         self.prop: Optional[PropagationResult] = None
+        #: Per-net coupling deltas of the last :meth:`run` (None when SI
+        #: is off). The incremental timer reuses these for nets outside
+        #: an edit's electrical neighbourhood instead of dropping them.
+        self.si_delta: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -83,6 +87,7 @@ class STA:
             from repro.sta.si import coupling_deltas
 
             si_delta = coupling_deltas(self.graph, self.parasitics)
+        self.si_delta = si_delta
         self.prop = propagate(self.graph, self.parasitics, self.derates,
                               si_delta=si_delta)
         report = TimingReport(

@@ -8,26 +8,51 @@ invalidates the downstream cone of the edited cells (including the
 drivers of their input nets, whose loads changed) and re-propagates just
 those pins, reusing stored arrivals everywhere else.
 
-Topology-changing edits (buffer insertion) fall back to a full rebuild —
-the honest boundary real incremental timers also draw, just further out.
+Topology-changing edits (buffer insertion, NDR promotion, useful skew)
+fall back to a full rebuild — the honest boundary real incremental
+timers also draw, just further out. :meth:`IncrementalTimer.full_update`
+really is a full rebuild: it re-binds the design, drops cached
+parasitics and reconstructs the timing graph, so it stays correct even
+after instances and nets were added.
+
+Guarantees the closure loop leans on:
+
+- **Equivalence** — an incremental update produces the same report a
+  from-scratch :meth:`~repro.sta.analysis.STA.run` would (including
+  coupling deltas when SI is enabled; touched nets are re-evaluated,
+  untouched nets keep their stored deltas).
+- **Atomicity** — :meth:`IncrementalTimer.update_cells` validates every
+  edit against the graph *before* mutating anything; an edit the timer
+  cannot absorb raises :class:`~repro.errors.TimingError` with the
+  graph, arrivals and report untouched, so the caller can fall back to
+  :meth:`full_update` on a still-usable timer.
+- **Edit-keyed invalidation** — registered signoff caches are dropped
+  only when an update actually edits the design; a no-op update (empty
+  edit list) returns the existing report and leaves every cached
+  scenario intact.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.design import PinRef
 from repro.liberty.cell import PinDirection
 from repro.sta.analysis import STA
-from repro.sta.graph import CellEdge, NetEdge
+from repro.sta.graph import CellEdge, NetEdge, TimingGraph
 from repro.sta.propagation import (
     DIRECTIONS,
     _propagate_cell_edge,
     _propagate_net_edge,
 )
 from repro.sta.reports import TimingReport
+
+#: Version of the timer's internal state layout. Checkpoints record it so
+#: a resumed run knows whether a serialized timer state could be trusted;
+#: any mismatch (or absence) means "rebuild from scratch".
+TIMER_STATE_VERSION = 1
 
 
 class IncrementalTimer:
@@ -54,6 +79,10 @@ class IncrementalTimer:
         for cache in self.caches:
             cache.invalidate_design(self.sta.design.name)
 
+    @property
+    def state_version(self) -> int:
+        return TIMER_STATE_VERSION
+
     # ------------------------------------------------------------------ #
 
     def update_cells(self, instance_names: Iterable[str]) -> TimingReport:
@@ -62,29 +91,53 @@ class IncrementalTimer:
         The edited instances must still exist with the same pins (same
         footprint). Returns a fresh report; ``sta.prop`` is updated in
         place so path reconstruction stays valid.
+
+        An empty edit list is a no-op: the existing report is returned
+        and registered caches are *not* invalidated.
+
+        Raises :class:`~repro.errors.TimingError` — without mutating the
+        graph, arrivals or caches — when an edit changed an instance's
+        arc set (a full rebuild is needed); the timer stays usable.
         """
         sta = self.sta
-        names = list(instance_names)
+        names = list(dict.fromkeys(instance_names))  # de-dupe, keep order
+        if not names:
+            # No-op pass: nothing changed, so every cached scenario and
+            # stored arrival is still valid. Serve the existing report.
+            if sta.report is None:
+                sta.report = self._build_report()
+            return sta.report
+
+        # Phase 1 (may raise, mutates nothing): plan the graph rebinds.
+        plans = [self._plan_instance_edges(name) for name in names]
+
+        # Phase 2 (infallible): the edit is absorbable — invalidate
+        # registered caches for this design and apply the rebinds.
         self._invalidate_caches()
-        for name in names:
-            self._refresh_instance_edges(name)
+        for plan in plans:
+            self._apply_instance_edges(plan)
+
         seeds: Set[PinRef] = set()
+        touched_nets: Set[str] = set()
         for name in names:
             inst = sta.design.instance(name)
             cell = sta.library.cell(inst.cell_name)
             for pin in cell.pins.values():
                 ref = PinRef(name, pin.name)
+                net_name = inst.net_of(pin.name)
+                touched_nets.add(net_name)
                 if pin.direction is PinDirection.OUTPUT:
                     seeds.add(ref)
                 else:
                     # Input cap changed: the driving net's delay and its
                     # driver's load change too.
-                    net_name = inst.net_of(pin.name)
                     sta.parasitics.invalidate(net_name)
                     net = sta.design.get_net(net_name)
                     if net.driver is not None and not net.driver.is_port:
                         seeds.add(net.driver)
                     seeds.add(ref)
+
+        si_delta = self._refresh_si_deltas(touched_nets)
 
         affected = self._downstream_cone(seeds)
         self.last_cone_size = len(affected)
@@ -100,28 +153,71 @@ class IncrementalTimer:
             for edge in sta.graph.in_edges.get(ref, []):
                 if isinstance(edge, NetEdge):
                     _propagate_net_edge(sta.graph, sta.parasitics, sta.prop,
-                                        edge, {})
+                                        edge, si_delta)
                 else:
                     _propagate_cell_edge(sta.graph, sta.parasitics, sta.prop,
                                          edge, sta.derates)
         return self._rebuild_report()
 
     def full_update(self) -> TimingReport:
-        """Fall back to a complete re-run (topology changed)."""
+        """Fall back to a complete, honest re-run.
+
+        Unlike the cone update this tolerates *topology* changes: the
+        design is re-bound, cached parasitics are dropped and the timing
+        graph is rebuilt before re-propagating, so buffer insertions,
+        NDR promotions and constraint edits are all absorbed.
+        """
+        sta = self.sta
         self._invalidate_caches()
         self.full_updates += 1
-        report = self.sta.run()
-        self.sta.report = report
+        self.last_cone_size = 0
+        sta.design.bind(sta.library)
+        sta.parasitics.invalidate()
+        sta.graph = TimingGraph(sta.design, sta.library, sta.constraints)
+        report = sta.run()
+        sta.report = report
         return report
 
     # ------------------------------------------------------------------ #
 
-    def _refresh_instance_edges(self, name: str) -> None:
-        """Point an edited instance's graph edges at its *new* cell's arcs.
+    def _refresh_si_deltas(self, touched_nets: Set[str]) -> Dict[str, float]:
+        """Coupling deltas for the re-propagation, post-edit.
+
+        Stored deltas from the last full run are carried over for every
+        net the edit could not have changed; nets electrically touched by
+        the edit (driver swapped, or a load pin cap changed) are
+        re-evaluated. With SI disabled this is just the empty dict.
+        """
+        sta = self.sta
+        if not sta.si_enabled:
+            return {}
+        from repro.sta.si import net_coupling_delta
+
+        si_delta = dict(sta.si_delta or {})
+        for net_name in touched_nets:
+            delta = net_coupling_delta(
+                sta.graph, sta.parasitics, sta.design.get_net(net_name)
+            )
+            if delta > 0.0:
+                si_delta[net_name] = delta
+            else:
+                si_delta.pop(net_name, None)
+        sta.si_delta = si_delta
+        return si_delta
+
+    # Rebind plan entries: (container, index, replacement).
+    _Plan = List[Tuple[list, int, object]]
+
+    def _plan_instance_edges(self, name: str) -> "_Plan":
+        """Plan pointing an edited instance's graph edges at its *new*
+        cell's arcs, without mutating the graph.
 
         A swap changes ``instance.cell_name`` but the graph's CellEdge
-        objects still hold the old cell's tables; this rebinds them (and
-        the instance's setup/hold checks) by (related_pin, pin, type).
+        objects still hold the old cell's tables; the plan rebinds them
+        (and the instance's setup/hold checks) by
+        (related_pin, pin, type). Raises :class:`TimingError` when the
+        new cell's arc set differs — in which case *nothing* has been
+        mutated yet and a full rebuild is the caller's move.
         """
         sta = self.sta
         inst = sta.design.instance(name)
@@ -130,6 +226,8 @@ class IncrementalTimer:
             (arc.related_pin, arc.pin, arc.timing_type): arc
             for arc in cell.arcs
         }
+
+        replaced: Dict[int, CellEdge] = {}
 
         def rebind(edge: CellEdge) -> CellEdge:
             key = (edge.arc.related_pin, edge.arc.pin, edge.arc.timing_type)
@@ -141,14 +239,14 @@ class IncrementalTimer:
                 )
             return CellEdge(instance=name, arc=new_arc)
 
-        replaced = {}
+        plan: IncrementalTimer._Plan = []
         for adjacency in (sta.graph.in_edges, sta.graph.out_edges):
             for edges in adjacency.values():
                 for i, edge in enumerate(edges):
                     if isinstance(edge, CellEdge) and edge.instance == name:
                         if id(edge) not in replaced:
                             replaced[id(edge)] = rebind(edge)
-                        edges[i] = replaced[id(edge)]
+                        plan.append((edges, i, replaced[id(edge)]))
         for i, check in enumerate(sta.graph.checks):
             if check.instance == name:
                 key = (check.arc.related_pin, check.arc.pin,
@@ -159,12 +257,21 @@ class IncrementalTimer:
                         f"swap on {name} changed the constraint arcs; "
                         "full rebuild needed"
                     )
-                sta.graph.checks[i] = type(check)(
-                    instance=name,
-                    data_pin=check.data_pin,
-                    clock_pin=check.clock_pin,
-                    arc=new_arc,
-                )
+                plan.append((
+                    sta.graph.checks, i,
+                    type(check)(
+                        instance=name,
+                        data_pin=check.data_pin,
+                        clock_pin=check.clock_pin,
+                        arc=new_arc,
+                    ),
+                ))
+        return plan
+
+    @staticmethod
+    def _apply_instance_edges(plan: "_Plan") -> None:
+        for container, index, replacement in plan:
+            container[index] = replacement
 
     def _downstream_cone(self, seeds: Set[PinRef]) -> Set[PinRef]:
         affected: Set[PinRef] = set(seeds)
@@ -178,13 +285,16 @@ class IncrementalTimer:
                     queue.append(dst)
         return affected
 
-    def _rebuild_report(self) -> TimingReport:
+    def _build_report(self) -> TimingReport:
         sta = self.sta
-        report = TimingReport(
+        return TimingReport(
             setup=sta._setup_endpoints() + sta._output_endpoints(),
             hold=sta._hold_endpoints(),
             slew_violations=sta._slew_violations(),
             scenario=sta.library.name,
         )
-        sta.report = report
+
+    def _rebuild_report(self) -> TimingReport:
+        report = self._build_report()
+        self.sta.report = report
         return report

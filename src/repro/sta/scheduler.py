@@ -268,6 +268,128 @@ class ScenarioResultCache:
 
 
 # ---------------------------------------------------------------------- #
+# warm incremental timers (ECO-loop signoff)
+
+
+class ScenarioTimerPool:
+    """One registered :class:`~repro.sta.incremental.IncrementalTimer`
+    per scenario, kept warm across ECO iterations.
+
+    Re-signoff inside a closure loop used to re-bind a fresh STA per
+    scenario per iteration — full graph construction, parasitic
+    extraction and propagation every time. The pool instead keeps each
+    scenario's timer alive: a footprint-preserving edit set re-times only
+    its downstream cone, a topology-changing edit set (or an edit the
+    timer cannot absorb) falls back to the timer's honest
+    :meth:`~repro.sta.incremental.IncrementalTimer.full_update`.
+
+    Cache invalidation is keyed to the actual edit set: registered
+    :class:`ScenarioResultCache` objects are attached to every timer, and
+    the timers only invalidate them when an update really edits the
+    design — a no-op pass (empty edit list) leaves cached scenario
+    reports intact.
+
+    The pool is a *serial* engine by design: timers hold live STA state
+    bound to the shared design, which is exactly the thing PR 1 had to
+    deep-copy to make thread workers safe. Warm-starting and fan-out are
+    different trades; the closure loop wants the former.
+    """
+
+    def __init__(self):
+        from repro.sta.incremental import IncrementalTimer  # noqa: F401
+
+        self._timers: Dict[str, "IncrementalTimer"] = {}
+        self._caches: List[ScenarioResultCache] = []
+        #: Retime calls served by a warm timer's cone-limited update.
+        self.incremental_retimes = 0
+        #: Retime calls that re-ran fully (topology change or fallback).
+        self.full_retimes = 0
+        #: Fresh STA constructions (first signoff of a scenario).
+        self.builds = 0
+        #: Incremental attempts the timer refused (arc-set change) that
+        #: were transparently downgraded to a full update.
+        self.fallbacks = 0
+
+    def register_cache(self, cache: ScenarioResultCache) -> None:
+        """Attach a result cache to every current and future timer."""
+        self._caches.append(cache)
+        for timer in self._timers.values():
+            timer.register_cache(cache)
+
+    def get(self, name: str):
+        """The warm timer for ``name``, or None before its first build."""
+        return self._timers.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._timers)
+
+    def adopt(self, name: str, sta) -> "IncrementalTimer":
+        """Register an already-run STA as scenario ``name``'s timer."""
+        from repro.sta.incremental import IncrementalTimer
+
+        timer = IncrementalTimer(sta)
+        for cache in self._caches:
+            timer.register_cache(cache)
+        self._timers[name] = timer
+        return timer
+
+    def discard(self, name: str) -> None:
+        self._timers.pop(name, None)
+
+    @property
+    def retimes(self) -> int:
+        return self.incremental_retimes + self.full_retimes
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of retimes served cone-limited by a warm timer."""
+        total = self.retimes
+        return self.incremental_retimes / total if total else 0.0
+
+    def retime(
+        self,
+        name: str,
+        edited_instances: Sequence[str] = (),
+        topology_changed: bool = False,
+        build: Optional[Callable[[], object]] = None,
+    ) -> TimingReport:
+        """Re-time scenario ``name`` after an ECO edit set.
+
+        ``edited_instances`` names the footprint-preserved instances the
+        pass touched; ``topology_changed`` forces the full path. A
+        scenario without a warm timer needs ``build`` (a zero-arg
+        callable returning a constructed-but-not-necessarily-run STA);
+        its first retime is a full build, later ones warm-start.
+        """
+        timer = self._timers.get(name)
+        if timer is None:
+            if build is None:
+                raise TimingError(
+                    f"no warm timer for scenario {name!r} and no build "
+                    "callable supplied"
+                )
+            sta = build()
+            if sta.prop is None or sta.report is None:
+                sta.report = sta.run()
+            self.adopt(name, sta)
+            self.builds += 1
+            return sta.report
+        if topology_changed:
+            self.full_retimes += 1
+            return timer.full_update()
+        try:
+            report = timer.update_cells(edited_instances)
+        except TimingError:
+            # The edit outran the cone update (arc set changed); the
+            # timer is untouched, so the honest fallback still applies.
+            self.fallbacks += 1
+            self.full_retimes += 1
+            return timer.full_update()
+        self.incremental_retimes += 1
+        return report
+
+
+# ---------------------------------------------------------------------- #
 # executor
 
 

@@ -26,6 +26,40 @@ DEFAULT_ALIGNMENT = 0.5
 _EVAL_SLEW = 25.0
 
 
+def net_coupling_delta(
+    graph: TimingGraph,
+    parasitics: ParasiticExtractor,
+    net,
+    alignment_fraction: float = DEFAULT_ALIGNMENT,
+) -> float:
+    """SI delta delay of one net, ps (0.0 when coupling cannot bite).
+
+    Depends on the net's parasitics, its driver cell's arcs and its load
+    pin caps — exactly the quantities a footprint-preserving ECO can
+    change — so the incremental timer re-evaluates it per touched net.
+    """
+    if net.driver is None or net.driver.is_port or not net.loads:
+        return 0.0
+    para = parasitics.extract(net.name)
+    cc = para.coupling_cap * alignment_fraction
+    if cc <= 0.0:
+        return 0.0
+    cell = graph.cell_of(net.driver)
+    arcs = cell.arcs_to(net.driver.pin)
+    if not arcs:
+        return 0.0
+    base_load = para.driver_load(parasitics.pin_caps_total(net.name))
+    worst_delta = 0.0
+    for arc in arcs:
+        for direction in arc.timing:
+            quiet, _ = arc.delay_and_slew(direction, _EVAL_SLEW, base_load)
+            noisy, _ = arc.delay_and_slew(
+                direction, _EVAL_SLEW, base_load + cc
+            )
+            worst_delta = max(worst_delta, noisy - quiet)
+    return worst_delta
+
+
 def coupling_deltas(
     graph: TimingGraph,
     parasitics: ParasiticExtractor,
@@ -38,27 +72,10 @@ def coupling_deltas(
     """
     deltas: Dict[str, float] = {}
     for net in graph.design.nets.values():
-        if net.driver is None or net.driver.is_port or not net.loads:
-            continue
-        para = parasitics.extract(net.name)
-        cc = para.coupling_cap * alignment_fraction
-        if cc <= 0.0:
-            continue
-        cell = graph.cell_of(net.driver)
-        arcs = cell.arcs_to(net.driver.pin)
-        if not arcs:
-            continue
-        base_load = para.driver_load(parasitics.pin_caps_total(net.name))
-        worst_delta = 0.0
-        for arc in arcs:
-            for direction in arc.timing:
-                quiet, _ = arc.delay_and_slew(direction, _EVAL_SLEW, base_load)
-                noisy, _ = arc.delay_and_slew(
-                    direction, _EVAL_SLEW, base_load + cc
-                )
-                worst_delta = max(worst_delta, noisy - quiet)
-        if worst_delta > 0.0:
-            deltas[net.name] = worst_delta
+        delta = net_coupling_delta(graph, parasitics, net,
+                                   alignment_fraction)
+        if delta > 0.0:
+            deltas[net.name] = delta
     return deltas
 
 

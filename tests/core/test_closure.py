@@ -144,3 +144,77 @@ class TestFixEngines:
         edits = FIX_ENGINES["area_recovery"](ctx)
         assert edits
         assert d.total_area(lib) < area_before
+
+
+class TestIncrementalTiming:
+    """The tentpole: cone-limited retiming inside the closure loop."""
+
+    def test_bad_timing_mode_rejected(self):
+        with pytest.raises(ClosureError, match="unknown timing mode"):
+            ClosureConfig(timing="magic")
+
+    def test_modes_produce_identical_results(self, lib):
+        configs = {}
+        for mode in ("incremental", "full"):
+            d, c = constrained_design()
+            engine = ClosureEngine(d, lib, c)
+            configs[mode] = engine.run(
+                ClosureConfig(max_iterations=6, budget_per_fix=12,
+                              timing=mode)
+            )
+        inc, full = configs["incremental"], configs["full"]
+        assert inc.trajectory() == full.trajectory()
+        assert inc.trajectory("tns_setup") == full.trajectory("tns_setup")
+        assert inc.final_wns == full.final_wns
+        assert inc.final.tns("setup") == full.final.tns("setup")
+        assert inc.converged == full.converged
+
+    def test_incremental_run_is_instrumented(self, lib):
+        d, c = constrained_design()
+        engine = ClosureEngine(d, lib, c)
+        result = engine.run(
+            ClosureConfig(max_iterations=6, budget_per_fix=12)
+        )
+        # The default-order loop serves its swap stages cone-limited.
+        assert result.incremental_retimes > 0
+        assert 0.0 < result.reuse_ratio <= 1.0
+        assert result.pin_count > 0
+        assert 0.0 < result.mean_cone_fraction < 1.0
+        assert result.timing_wall_s > 0.0
+        cone_recs = [r for r in result.iterations
+                     if r.incremental_retimes]
+        assert cone_recs
+        for rec in cone_recs:
+            assert 0 < rec.cone_size
+            assert 0.0 < rec.cone_fraction < 1.0
+            assert rec.retime_engine in ("incremental", "mixed")
+        rendered = result.render()
+        assert "retime" in rendered
+        assert "cone" in rendered
+        assert "timing:" in rendered
+        assert "reuse" in rendered
+
+    def test_full_mode_only_rebuilds(self, lib):
+        d, c = constrained_design()
+        engine = ClosureEngine(d, lib, c)
+        result = engine.run(
+            ClosureConfig(max_iterations=4, budget_per_fix=12,
+                          timing="full")
+        )
+        assert result.incremental_retimes == 0
+        assert result.reuse_ratio == 0.0
+        engines_seen = {r.retime_engine for r in result.iterations}
+        assert engines_seen <= {"rebuild", ""}
+
+    def test_warm_timer_reused_across_iterations(self, lib):
+        d, c = constrained_design()
+        engine = ClosureEngine(d, lib, c)
+        result = engine.run(
+            ClosureConfig(max_iterations=6, budget_per_fix=12)
+        )
+        pool = engine.timer_pool
+        # One scenario, one registered timer, warm the whole run.
+        assert pool.names() == [lib.name]
+        timer = pool.get(lib.name)
+        assert timer.incremental_updates == result.incremental_retimes
+        assert pool.builds == 0  # adopted from the initial run, not rebuilt

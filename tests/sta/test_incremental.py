@@ -10,6 +10,7 @@ from repro.netlist.generators import random_logic
 from repro.netlist.transforms import swap_vt, upsize
 from repro.sta import STA, Constraints
 from repro.sta.incremental import IncrementalTimer
+from repro.sta.scheduler import ScenarioResultCache
 
 
 @pytest.fixture(scope="module")
@@ -131,3 +132,193 @@ class TestEfficiency:
         full_time = time.perf_counter() - t0
         # Conservative bound: the cone update must clearly beat a rebuild.
         assert incremental_time < full_time
+
+
+class TestSiDeltas:
+    """Regression: cone re-propagation must carry coupling deltas.
+
+    The update used to pass an empty ``si_delta`` into the net-edge
+    propagation, silently dropping every stored coupling penalty inside
+    the cone (~18 ps endpoint error on this workload). The fix threads
+    the stored deltas through and re-evaluates exactly the nets the
+    edit touched electrically.
+    """
+
+    def _si_setup(self, lib):
+        design = random_logic(n_gates=300, n_levels=10, seed=7)
+        constraints = Constraints.single_clock(520.0)
+        constraints.input_delays = {f"in{i}": 60.0 for i in range(32)}
+        sta = STA(design, lib, constraints, si_enabled=True)
+        sta.report = sta.run()
+        return design, sta
+
+    def test_incremental_matches_full_with_si(self, lib):
+        design, sta = self._si_setup(lib)
+        assert sta.si_delta  # the scenario really has coupling penalties
+        timer = IncrementalTimer(sta)
+        worst = sta.report.worst("setup")
+        path = sta.worst_path(worst)
+        name = next(p.ref.instance for p in path.points
+                    if p.kind == "cell" and not p.ref.is_port)
+        assert swap_vt(design, lib, name, "lvt") or \
+            upsize(design, lib, name)
+
+        incremental = timer.update_cells([name])
+        reference = STA(design, lib, sta.constraints,
+                        si_enabled=True).run()
+        assert incremental.wns("setup") == \
+            pytest.approx(reference.wns("setup"), abs=1e-9)
+        assert incremental.tns("setup") == \
+            pytest.approx(reference.tns("setup"), abs=1e-9)
+        ref_slacks = slack_map(reference)
+        inc_slacks = slack_map(incremental)
+        assert set(inc_slacks) == set(ref_slacks)
+        for endpoint, slack in ref_slacks.items():
+            assert inc_slacks[endpoint] == pytest.approx(slack, abs=1e-9)
+
+    def test_touched_net_deltas_are_reevaluated(self, lib):
+        design, sta = self._si_setup(lib)
+        timer = IncrementalTimer(sta)
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        assert upsize(design, lib, name)  # drive strength changes deltas
+        timer.update_cells([name])
+        reference = STA(design, lib, sta.constraints, si_enabled=True)
+        reference.run()
+        inst = design.instance(name)
+        out_net = inst.net_of("ZN")
+        assert sta.si_delta.get(out_net, 0.0) == \
+            pytest.approx(reference.si_delta.get(out_net, 0.0), abs=1e-12)
+
+
+class TestNoOpUpdate:
+    """A no-op edit set must not invalidate caches or recompute."""
+
+    def test_noop_returns_existing_report(self, lib):
+        design, sta = fresh_setup(lib, n_gates=80)
+        timer = IncrementalTimer(sta)
+        before = sta.report
+        report = timer.update_cells([])
+        assert report is before
+        assert timer.incremental_updates == 0
+        assert timer.full_updates == 0
+
+    def test_noop_keeps_registered_caches_warm(self, lib):
+        design, sta = fresh_setup(lib, n_gates=80)
+        timer = IncrementalTimer(sta)
+        cache = ScenarioResultCache()
+        cache.store(design.name, "dfp", "sfp", sta.report)
+        timer.register_cache(cache)
+
+        timer.update_cells([])
+        assert cache.stats.invalidations == 0
+        assert cache.lookup(design.name, "dfp", "sfp") is sta.report
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+        # A real edit, by contrast, drops the design's cached snapshots.
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        assert upsize(design, lib, name)
+        timer.update_cells([name])
+        assert cache.stats.invalidations == 1
+        assert cache.lookup(design.name, "dfp", "sfp") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_noop_before_first_report_builds_one(self, lib):
+        design, sta = fresh_setup(lib, n_gates=80)
+        reference = sta.report
+        sta.report = None
+        timer = IncrementalTimer(sta)
+        report = timer.update_cells([])
+        assert report is sta.report
+        assert slack_map(report) == slack_map(reference)
+
+
+class TestAtomicity:
+    """update_cells validates every edit before mutating anything."""
+
+    def _corrupt(self, design, lib, name):
+        """An illegal 'swap' behind the timer's back: point the instance
+        at a cell whose arc set cannot match (NAND2 -> INV drops the B
+        arc), bypassing swap_cell's footprint guard."""
+        inst = design.instance(name)
+        old = inst.cell_name
+        inst.cell_name = old.replace("NAND2", "INV")
+        lib.cell(inst.cell_name)  # the variant exists; arcs still differ
+        return old
+
+    def test_failed_swap_mutates_nothing(self, lib):
+        design, sta = fresh_setup(lib, n_gates=120)
+        timer = IncrementalTimer(sta)
+        cache = ScenarioResultCache()
+        cache.store(design.name, "dfp", "sfp", sta.report)
+        timer.register_cache(cache)
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        report_before = sta.report
+        arrivals_before = dict(sta.prop.arrivals)
+        old_cell = self._corrupt(design, lib, name)
+
+        with pytest.raises(TimingError, match="full rebuild"):
+            timer.update_cells([name])
+
+        assert sta.report is report_before
+        assert sta.prop.arrivals == arrivals_before
+        assert timer.incremental_updates == 0
+        assert cache.stats.invalidations == 0  # caches untouched too
+        design.instance(name).cell_name = old_cell
+
+    def test_failed_batch_applies_no_member(self, lib):
+        """One bad edit poisons the whole batch: the good instance's
+        graph edges must not be rebound either."""
+        design, sta = fresh_setup(lib, n_gates=120)
+        timer = IncrementalTimer(sta)
+        instances = [
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        ]
+        good, bad = instances[0], instances[1]
+        assert upsize(design, lib, good)
+        old_cell = self._corrupt(design, lib, bad)
+
+        arrivals_before = dict(sta.prop.arrivals)
+        with pytest.raises(TimingError, match="full rebuild"):
+            timer.update_cells([good, bad])
+        assert sta.prop.arrivals == arrivals_before
+
+        # The timer is still usable: absorb the good edit alone and
+        # land exactly on a from-scratch run.
+        design.instance(bad).cell_name = old_cell
+        incremental = timer.update_cells([good])
+        reference = STA(design, lib, sta.constraints).run()
+        for endpoint, slack in slack_map(reference).items():
+            assert slack_map(incremental)[endpoint] == \
+                pytest.approx(slack, abs=1e-9)
+
+    def test_full_update_recovers_from_arc_set_change(self, lib):
+        """The documented fallback: an edit the cone update refuses is
+        absorbed by full_update on the same timer."""
+        design, sta = fresh_setup(lib, n_gates=120)
+        timer = IncrementalTimer(sta)
+        name = next(
+            i.name for i in design.combinational_instances(lib)
+            if i.cell_name.startswith("NAND2")
+        )
+        old_cell = self._corrupt(design, lib, name)
+        with pytest.raises(TimingError):
+            timer.update_cells([name])
+        design.instance(name).cell_name = old_cell
+        assert upsize(design, lib, name)
+        report = timer.full_update()
+        reference = STA(design, lib, sta.constraints).run()
+        for endpoint, slack in slack_map(reference).items():
+            assert slack_map(report)[endpoint] == \
+                pytest.approx(slack, abs=1e-9)

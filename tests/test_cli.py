@@ -46,6 +46,25 @@ class TestClosure:
         assert rc == 0
         assert "converged" in out
 
+    def test_closure_timing_modes_agree(self, capsys):
+        outputs = {}
+        for mode in ("incremental", "full"):
+            rc = main([
+                "closure", "--design", "rand", "--gates", "240",
+                "--period", "440", "--iterations", "6",
+                "--timing", mode,
+            ])
+            assert rc == 0
+            outputs[mode] = capsys.readouterr().out
+        # Same trajectory table either way; the incremental run also
+        # surfaces its retime instrumentation.
+        inc, full = outputs["incremental"], outputs["full"]
+        assert "timing:" in inc
+        assert "retime" in inc
+        for line in inc.splitlines():
+            if line.startswith("final WNS"):
+                assert line in full
+
 
 class TestLibrary:
     def test_library_to_stdout(self, capsys):

@@ -91,7 +91,7 @@ def test_fig01_closure_trajectory_matches_golden(lib):
     recorded = [
         (int(m.group(1)), float(m.group(2)), float(m.group(3)))
         for m in re.finditer(
-            r"^\s*(\d+)\s+(-?[\d.]+)\s+(-?[\d.]+)\s+\d+\s+\d+\s+\d+\s+\d+\s*$",
+            r"^\s*(\d+)\s+(-?[\d.]+)\s+(-?[\d.]+)\s+\d+\s+\d+\s+\d+\s+\d+(?:\s+\S.*)?$",
             text, re.M,
         )
     ]
