@@ -20,10 +20,15 @@ which a loaded CI runner cannot flake.
 
 import time
 
-from conftest import once
+from conftest import RESULTS_DIR, once
 
 from repro.core.closure import ClosureConfig, ClosureEngine
 from repro.netlist.generators import aes_like
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.export import write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.sta import Constraints
 
 N_SBOXES = 24
@@ -129,3 +134,89 @@ def test_incremental_closure_speedup_and_equivalence(benchmark, lib,
     assert eco_inc.incremental_retimes > 0
     assert eco_inc.mean_cone_fraction < 0.25
     assert eco_work >= 2.0
+
+
+def test_disabled_obs_overhead_under_two_percent(benchmark, lib,
+                                                 record_table):
+    """PR 5 gate: instrumentation left compiled in must stay ~free.
+
+    Wall-clock A/B of "same workload with/without a tracer" flakes on a
+    loaded runner, so the assertion is constructed deterministically:
+    measure the *per-call* cost of the disabled hooks (a tight no-op
+    loop), count how many hook calls the workload actually makes (from
+    one traced run), and require
+
+        calls x per-call-disabled-cost < 2% x workload wall.
+
+    The traced run doubles as the trace artifact: its span tree is
+    written to ``benchmarks/results/closure_incremental.trace.json``
+    (Chrome-trace JSON; CI uploads it, ``repro trace summarize`` or
+    Perfetto read it).
+    """
+    swap_order = ("vt_swap", "sizing")
+
+    def run():
+        # Workload wall with observability disabled (the default state).
+        _, t_plain = _closure(lib, "incremental", swap_order)
+
+        # One traced+metered run: counts the instrumentation sites the
+        # workload passes through, and yields the exported artifact.
+        tracer, registry = Tracer(), MetricsRegistry()
+        with obs_tracing.use(tracer), obs_metrics.use(registry):
+            report, _ = _closure(lib, "incremental", swap_order)
+
+        # Per-call disabled cost, measured where the hot paths pay it:
+        # an inactive module-level span()/inc() pair.
+        n_loop = 200_000
+        t0 = time.perf_counter()
+        for _ in range(n_loop):
+            obs_tracing.span("bench")
+        t_span_call = (time.perf_counter() - t0) / n_loop
+        t0 = time.perf_counter()
+        for _ in range(n_loop):
+            obs_metrics.inc("bench")
+        t_inc_call = (time.perf_counter() - t0) / n_loop
+        return report, tracer, registry, t_plain, t_span_call, t_inc_call
+
+    report, tracer, registry, t_plain, t_span_call, t_inc_call = once(
+        benchmark, run)
+
+    spans = tracer.spans()
+    n_span_calls = len(spans)
+    n_metric_calls = sum(
+        int(metric.value) if hasattr(metric, "value") else metric.total
+        for metric in (registry.get(name) for name in registry.names())
+    )
+    overhead_s = n_span_calls * t_span_call + n_metric_calls * t_inc_call
+    budget_s = 0.02 * t_plain
+
+    trace_path = RESULTS_DIR / "closure_incremental.trace.json"
+    write_chrome_trace(trace_path, spans, metadata={
+        "workload": f"aes_like {N_SBOXES}x{SBOX_GATES} @ {PERIOD_PS} ps",
+        "fix_order": "+".join(swap_order),
+    })
+
+    record_table("obs_overhead", "\n".join([
+        f"workload wall (obs disabled):   {t_plain * 1e3:9.1f} ms",
+        f"hook call sites traversed:      {n_span_calls} spans, "
+        f"{n_metric_calls} metric updates",
+        f"disabled span() call:           {t_span_call * 1e9:9.1f} ns",
+        f"disabled inc() call:            {t_inc_call * 1e9:9.1f} ns",
+        f"implied disabled overhead:      {overhead_s * 1e6:9.1f} us "
+        f"({overhead_s / t_plain:.3%} of workload)",
+        f"budget (2% of workload):        {budget_s * 1e6:9.1f} us",
+        f"trace artifact:                 {trace_path.name} "
+        f"({len(spans)} spans)",
+    ]))
+
+    assert n_span_calls > 0 and n_metric_calls > 0
+    assert overhead_s < budget_s, (
+        f"disabled obs hooks cost {overhead_s:.6f}s against a 2% budget "
+        f"of {budget_s:.6f}s on a {t_plain:.3f}s workload"
+    )
+    # The artifact really is a loadable span tree.
+    from repro.obs.export import summarize_file
+
+    summary = summarize_file(trace_path)
+    assert summary.phase("closure") is not None
+    assert summary.phase("retime") is not None

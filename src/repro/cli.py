@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro etm      --design rand --period 500
     python -m repro corners  --modes 6 --domains 4
     python -m repro history
+    python -m repro closure  --design aes --period 1240 \\
+                             --trace closure.trace.json
+    python -m repro trace summarize closure.trace.json
 
 Designs are the synthetic generators (``rand``, ``c5315``, ``c7552``,
 ``aes``, ``mpeg2``, ``tiny``); libraries come from the analytic factory
@@ -30,6 +33,7 @@ conventional 2 for usage errors.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import Callable, Dict, List, Optional
@@ -112,6 +116,50 @@ def _make_setup(args):
     return design, _make_library(args), constraints
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record hierarchical spans and write a "
+                             "Chrome-trace JSON (chrome://tracing, "
+                             "Perfetto, or `repro trace summarize`)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="record counters/gauges/histograms and "
+                             "write a metrics snapshot JSON")
+
+
+@contextlib.contextmanager
+def _obs_session(args):
+    """Arm tracing/metrics for ``--trace`` / ``--metrics``.
+
+    Exports are written on the way out even when the run aborts, so a
+    failed closure still leaves its partial trace behind.
+    """
+    from repro.obs import export, metrics, tracing
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield
+        return
+    tracer = tracing.Tracer() if trace_path else None
+    registry = metrics.MetricsRegistry() if metrics_path else None
+    try:
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracing.use(tracer))
+            if registry is not None:
+                stack.enter_context(metrics.use(registry))
+            yield
+    finally:
+        if tracer is not None:
+            export.write_chrome_trace(trace_path, tracer.spans())
+            print(f"trace: wrote {len(tracer)} span(s) to {trace_path}",
+                  file=sys.stderr)
+        if registry is not None:
+            registry.write_json(metrics_path)
+            print(f"metrics: wrote snapshot to {metrics_path}",
+                  file=sys.stderr)
+
+
 # ---------------------------------------------------------------------- #
 # subcommands
 
@@ -139,6 +187,14 @@ def _cmd_signoff(args) -> int:
     from repro.sta.mcmm import standard_scenario_set
     from repro.sta.scheduler import ScenarioResultCache, SignoffScheduler
     from repro.validate import ensure_valid
+
+    if args.jobs < 1:
+        # Deliberately exit 1 (not argparse's 2): the flag parsed fine,
+        # the *value* is unusable, and schedulers keying on exit codes
+        # treat 1 as "ran and found a problem".
+        print(f"error: --jobs must be a positive integer (got {args.jobs})",
+              file=sys.stderr)
+        return EXIT_VIOLATIONS
 
     design, _, constraints = _make_setup(args)
 
@@ -185,7 +241,8 @@ def _cmd_signoff(args) -> int:
         keep_going=args.keep_going,
         fault_injector=fault_injector,
     )
-    outcome = scheduler.signoff(design)
+    with _obs_session(args):
+        outcome = scheduler.signoff(design)
     print(outcome.render("setup"))
     print()
     for event in outcome.events:
@@ -223,12 +280,13 @@ def _cmd_closure(args) -> int:
         policy=RetryPolicy(retries=args.retries),
         journal=journal,
     )
-    result = engine.run(
-        ClosureConfig(max_iterations=args.iterations,
-                      budget_per_fix=args.budget,
-                      timing=args.timing),
-        resume=args.resume,
-    )
+    with _obs_session(args):
+        result = engine.run(
+            ClosureConfig(max_iterations=args.iterations,
+                          budget_per_fix=args.budget,
+                          timing=args.timing),
+            resume=args.resume,
+        )
     print(result.render())
     if result.aborted:
         return EXIT_DEGRADED
@@ -293,6 +351,14 @@ def _cmd_corners(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs.export import summarize_file
+
+    summary = summarize_file(args.file)
+    print(summary.render())
+    return 0
+
+
 def _cmd_history(args) -> int:
     from repro.core.history import render_old_vs_new, render_timeline
 
@@ -347,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="chaos testing: inject a seeded, deterministic "
                             "fault plan (crashes/hangs) into the workers")
+    _add_obs_args(p_sig)
     p_sig.set_defaults(func=_cmd_signoff)
 
     p_clo = sub.add_parser("closure", help="run the Fig 1 closure loop")
@@ -368,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="continue from the last journaled iteration")
     p_clo.add_argument("--no-validate", action="store_true",
                        help="skip the pre-run lint")
+    _add_obs_args(p_clo)
     p_clo.set_defaults(func=_cmd_closure)
 
     p_val = sub.add_parser(
@@ -395,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_cor.add_argument("--modes", type=int, default=6)
     p_cor.add_argument("--domains", type=int, default=4)
     p_cor.set_defaults(func=_cmd_corners)
+
+    p_tr = sub.add_parser("trace", help="inspect exported trace files")
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    p_sum = tr_sub.add_parser(
+        "summarize",
+        help="per-phase wall-clock breakdown of a --trace export",
+    )
+    p_sum.add_argument("file", help="Chrome-trace JSON or events JSONL")
+    p_sum.set_defaults(func=_cmd_trace_summarize)
 
     p_hist = sub.add_parser("history", help="Fig 2/3 knowledge tables")
     p_hist.set_defaults(func=_cmd_history)

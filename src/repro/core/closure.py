@@ -38,6 +38,9 @@ from repro.errors import ClosureError
 from repro.liberty.library import Library
 from repro.netlist.design import Design
 from repro.netlist.transforms import Edit
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.tracing import Tracer
 from repro.runtime.journal import RunJournal
 from repro.runtime.supervisor import RetryPolicy
 from repro.sta.analysis import STA
@@ -65,6 +68,9 @@ DEFAULT_FIX_ORDER = (
 
 #: Valid ``ClosureConfig.timing`` values.
 TIMING_MODES = ("incremental", "full")
+
+#: Histogram buckets for per-stage retime wall clocks, seconds.
+WALL_BUCKETS_S = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 
 
 def fix_stages(fix_order: Sequence[str]) -> List[Tuple[str, ...]]:
@@ -344,20 +350,22 @@ class ClosureEngine:
     def _run_sta(self, label: str = "sta") -> STA:
         """One supervised STA pass: retry with backoff on crashes."""
         last_error: Optional[Exception] = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self.sta_attempts += 1
-            try:
-                if self.fault_injector is not None:
-                    self.fault_injector.fire(label, attempt)
-                sta = self._build_sta()
-                sta.report = sta.run()
-            except Exception as exc:  # noqa: BLE001 - quarantined below
-                last_error = exc
-                if attempt < self.policy.max_attempts:
-                    time.sleep(self.policy.delay(attempt))
-                continue
-            self.sta_runs += 1
-            return sta
+        with obs_tracing.span("sta_build", label=label) as build_span:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self.sta_attempts += 1
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.fire(label, attempt)
+                    sta = self._build_sta()
+                    sta.report = sta.run()
+                except Exception as exc:  # noqa: BLE001 - quarantined below
+                    last_error = exc
+                    if attempt < self.policy.max_attempts:
+                        time.sleep(self.policy.delay(attempt))
+                    continue
+                self.sta_runs += 1
+                build_span.set(attempts=attempt)
+                return sta
         raise ClosureError(
             f"STA failed after {self.policy.max_attempts} attempt(s): "
             f"{type(last_error).__name__}: {last_error}",
@@ -413,83 +421,172 @@ class ClosureEngine:
 
     def run(self, config: Optional[ClosureConfig] = None,
             resume: bool = False) -> ClosureReport:
-        """Execute the closure loop (optionally resuming a checkpoint)."""
-        config = config or ClosureConfig()
+        """Execute the closure loop (optionally resuming a checkpoint).
+
+        The loop always records into a tracer: the active one when
+        observability is armed (CLI ``--trace``, or an enclosing
+        :func:`repro.obs.tracing.use` block), else a private throwaway.
+        The trajectory's timing fields (``retime_s``,
+        ``timing_wall_s``) are backed by those spans, so the report is
+        identical either way — armed tracing just also exports the tree.
+        """
+        tracer = obs_tracing.active_tracer()
+        if tracer is None:
+            tracer = Tracer()
+        with obs_tracing.use(tracer):
+            return self._run_traced(config or ClosureConfig(), resume)
+
+    def _run_traced(self, config: ClosureConfig,
+                    resume: bool) -> ClosureReport:
         incremental = config.timing == "incremental"
         scenario_name = self.library.name
         run_key = (
             self._run_fingerprint(config) if self.journal is not None
             else ""
         )
-        records: List[IterationRecord] = []
-        resumed = 0
-        if resume and self.journal is not None:
-            for it in range(config.max_iterations, 0, -1):
-                payload = self.journal.lookup("closure", (run_key, it))
-                if payload is not None:
-                    records = list(payload["records"])
-                    self.design = payload["design"]
-                    # useful_skew edits constraints (per-flop clock
-                    # latency), so the checkpoint carries them too.
-                    if "constraints" in payload:
-                        self.constraints = payload["constraints"]
-                    # Live timer state is never checkpointed — only its
-                    # version stamp — so whatever the stamp says, resume
-                    # falls back to a full rebuild below. A future state
-                    # snapshot would be trusted only on an exact match.
-                    resumed = it
-                    break
-        first_iteration = resumed + 1
+        with obs_tracing.span(
+            "closure", design=self.design.name, scenario=scenario_name,
+            timing=config.timing, max_iterations=config.max_iterations,
+        ):
+            records: List[IterationRecord] = []
+            resumed = 0
+            if resume and self.journal is not None:
+                for it in range(config.max_iterations, 0, -1):
+                    payload = self.journal.lookup("closure", (run_key, it))
+                    if payload is not None:
+                        records = list(payload["records"])
+                        self.design = payload["design"]
+                        # useful_skew edits constraints (per-flop clock
+                        # latency), so the checkpoint carries them too.
+                        if "constraints" in payload:
+                            self.constraints = payload["constraints"]
+                        # Live timer state is never checkpointed — only
+                        # its version stamp — so whatever the stamp says,
+                        # resume falls back to a full rebuild below. A
+                        # future state snapshot would be trusted only on
+                        # an exact match.
+                        resumed = it
+                        break
+            first_iteration = resumed + 1
 
-        try:
-            sta = self._run_sta(label=f"iter{first_iteration}")
-        except ClosureError as exc:
-            if not records:
-                raise
+            try:
+                sta = self._run_sta(label=f"iter{first_iteration}")
+            except ClosureError as exc:
+                if not records:
+                    raise
+                return ClosureReport(
+                    iterations=records,
+                    final=None,
+                    converged=False,
+                    schedule_days=len(records) * config.days_per_iteration,
+                    aborted=f"{type(exc).__name__}: {exc}",
+                    resumed_iterations=resumed,
+                )
+            if incremental:
+                # One registered timer per scenario, warm across
+                # iterations.
+                self.timer_pool.discard(scenario_name)
+                self.timer_pool.adopt(scenario_name, sta)
+            aborted: Optional[str] = None
+            timing_wall_s = 0.0
+            incremental_retimes = 0
+            full_retimes = 0
+
+            for iteration in range(first_iteration,
+                                   config.max_iterations + 1):
+                with obs_tracing.span("iteration", iteration=iteration) \
+                        as iteration_span:
+                    sta, record, aborted, clean = self._run_iteration(
+                        sta, config, records, iteration, scenario_name,
+                        incremental, iteration_span,
+                    )
+                obs_metrics.inc("closure.iterations")
+                obs_metrics.inc("closure.edits", record.total_edits)
+                if clean and config.stop_when_clean:
+                    break
+                if record.total_edits == 0:
+                    break  # nothing left to try
+                timing_wall_s += record.retime_s
+                incremental_retimes += record.incremental_retimes
+                full_retimes += record.full_retimes
+                if aborted is not None:
+                    break
+                if self.journal is not None:
+                    self.journal.record(
+                        "closure", (run_key, iteration),
+                        {"records": records, "design": self.design,
+                         "constraints": self.constraints,
+                         "timer_state": {"version": TIMER_STATE_VERSION}},
+                    )
+
+            final = sta.report
+            converged = aborted is None and (
+                not final.violations("setup")
+                and not final.violations("hold")
+                and not final.slew_violations
+            )
+            retimes = incremental_retimes + full_retimes
             return ClosureReport(
                 iterations=records,
-                final=None,
-                converged=False,
+                final=final,
+                converged=converged,
                 schedule_days=len(records) * config.days_per_iteration,
-                aborted=f"{type(exc).__name__}: {exc}",
+                aborted=aborted,
                 resumed_iterations=resumed,
+                incremental_retimes=incremental_retimes,
+                full_retimes=full_retimes,
+                reuse_ratio=(incremental_retimes / retimes
+                             if retimes else 0.0),
+                timing_wall_s=timing_wall_s,
+                pin_count=len(sta.graph.topo_order),
             )
-        if incremental:
-            # One registered timer per scenario, warm across iterations.
-            self.timer_pool.discard(scenario_name)
-            self.timer_pool.adopt(scenario_name, sta)
+
+    def _run_iteration(
+        self,
+        sta: STA,
+        config: ClosureConfig,
+        records: List[IterationRecord],
+        iteration: int,
+        scenario_name: str,
+        incremental: bool,
+        iteration_span,
+    ) -> Tuple[STA, IterationRecord, Optional[str], bool]:
+        """One pass of the Fig 1 loop: breakdown, fix stages, retimes.
+
+        Returns ``(sta, record, aborted, clean)``. Stage wall-clocks
+        come from the ``retime`` spans (PR 3's bespoke
+        ``perf_counter`` bookkeeping now reads obs spans), so
+        ``record.retime_s`` equals the summed retime-span durations.
+        """
+        report = sta.report
+        breakdown = dict(report.violation_breakdown("setup"))
+        for key, count in report.violation_breakdown("hold").items():
+            breakdown[f"hold_{key}"] = count
+        record = IterationRecord(
+            iteration=iteration,
+            wns_setup=report.wns("setup"),
+            tns_setup=report.tns("setup"),
+            wns_hold=report.wns("hold"),
+            setup_violations=report.violation_count("setup"),
+            hold_violations=report.violation_count("hold"),
+            slew_violations=len(report.slew_violations),
+            breakdown=breakdown,
+        )
+        records.append(record)
+        iteration_span.set(wns_setup=record.wns_setup)
+
+        clean = (
+            not report.violations("setup")
+            and not report.violations("hold")
+            and not report.slew_violations
+        )
+        if clean and config.stop_when_clean:
+            return sta, record, None, True
+
         aborted: Optional[str] = None
-        timing_wall_s = 0.0
-        incremental_retimes = 0
-        full_retimes = 0
-
-        for iteration in range(first_iteration, config.max_iterations + 1):
-            report = sta.report
-            breakdown = dict(report.violation_breakdown("setup"))
-            for key, count in report.violation_breakdown("hold").items():
-                breakdown[f"hold_{key}"] = count
-            record = IterationRecord(
-                iteration=iteration,
-                wns_setup=report.wns("setup"),
-                tns_setup=report.tns("setup"),
-                wns_hold=report.wns("hold"),
-                setup_violations=report.violation_count("setup"),
-                hold_violations=report.violation_count("hold"),
-                slew_violations=len(report.slew_violations),
-                breakdown=breakdown,
-            )
-            records.append(record)
-
-            clean = (
-                not report.violations("setup")
-                and not report.violations("hold")
-                and not report.slew_violations
-            )
-            if clean and config.stop_when_clean:
-                break
-
-            cone_fractions: List[float] = []
-            for stage in fix_stages(config.fix_order):
+        cone_fractions: List[float] = []
+        for stage in fix_stages(config.fix_order):
+            with obs_tracing.span("stage", engines="+".join(stage)):
                 # Each stage gets a fresh view: the previous stage's
                 # retime already refreshed sta.report, so engines never
                 # compound fixes on stale slack.
@@ -503,31 +600,44 @@ class ClosureEngine:
                 )
                 stage_edits: List[Edit] = []
                 for fix_name in stage:
-                    edits = FIX_ENGINES[fix_name](ctx)
+                    with obs_tracing.span("fix", engine=fix_name) \
+                            as fix_span:
+                        edits = FIX_ENGINES[fix_name](ctx)
+                        fix_span.set(edits=len(edits))
                     if edits:
                         record.edits[fix_name] = len(edits)
                         stage_edits.extend(edits)
                 if not stage_edits:
                     continue
                 swapped, topology_changed = classify_edits(stage_edits)
-                t0 = time.perf_counter()
-                try:
-                    if incremental:
-                        _, engine_used = self._retime(
-                            scenario_name, swapped, topology_changed,
-                            label=f"iter{iteration + 1}",
-                        )
-                        sta = self.timer_pool.get(scenario_name).sta
-                    else:
-                        sta = self._run_sta(label=f"iter{iteration + 1}")
-                        engine_used = "rebuild"
-                except ClosureError as exc:
-                    # Persistent STA failure mid-loop: keep the
-                    # trajectory up to the last healthy iteration
-                    # instead of losing everything.
-                    aborted = f"{type(exc).__name__}: {exc}"
+                with obs_tracing.span(
+                    "retime", edits=len(stage_edits),
+                    topology_changed=topology_changed,
+                ) as retime_span:
+                    try:
+                        if incremental:
+                            _, engine_used = self._retime(
+                                scenario_name, swapped, topology_changed,
+                                label=f"iter{iteration + 1}",
+                            )
+                            sta = self.timer_pool.get(scenario_name).sta
+                        else:
+                            sta = self._run_sta(
+                                label=f"iter{iteration + 1}"
+                            )
+                            engine_used = "rebuild"
+                    except ClosureError as exc:
+                        # Persistent STA failure mid-loop: keep the
+                        # trajectory up to the last healthy iteration
+                        # instead of losing everything.
+                        aborted = f"{type(exc).__name__}: {exc}"
+                if aborted is not None:
                     break
-                record.retime_s += time.perf_counter() - t0
+                retime_span.set(engine=engine_used)
+                record.retime_s += retime_span.duration_s
+                obs_metrics.observe("closure.retime_wall_s",
+                                    retime_span.duration_s,
+                                    WALL_BUCKETS_S)
                 pin_count = len(sta.graph.topo_order)
                 if engine_used == "incremental":
                     record.incremental_retimes += 1
@@ -539,50 +649,14 @@ class ClosureEngine:
                     )
                 else:
                     record.full_retimes += 1
-            if record.total_edits == 0:
-                break  # nothing left to try
-            timing_wall_s += record.retime_s
-            incremental_retimes += record.incremental_retimes
-            full_retimes += record.full_retimes
-            if cone_fractions:
-                record.cone_fraction = (
-                    sum(cone_fractions) / len(cone_fractions)
-                )
-            if record.incremental_retimes and record.full_retimes:
-                record.retime_engine = "mixed"
-            elif record.incremental_retimes:
-                record.retime_engine = "incremental"
-            elif record.full_retimes:
-                record.retime_engine = (
-                    "full" if incremental else "rebuild"
-                )
-            if aborted is not None:
-                break
-            if self.journal is not None:
-                self.journal.record(
-                    "closure", (run_key, iteration),
-                    {"records": records, "design": self.design,
-                     "constraints": self.constraints,
-                     "timer_state": {"version": TIMER_STATE_VERSION}},
-                )
-
-        final = sta.report
-        converged = aborted is None and (
-            not final.violations("setup")
-            and not final.violations("hold")
-            and not final.slew_violations
-        )
-        retimes = incremental_retimes + full_retimes
-        return ClosureReport(
-            iterations=records,
-            final=final,
-            converged=converged,
-            schedule_days=len(records) * config.days_per_iteration,
-            aborted=aborted,
-            resumed_iterations=resumed,
-            incremental_retimes=incremental_retimes,
-            full_retimes=full_retimes,
-            reuse_ratio=incremental_retimes / retimes if retimes else 0.0,
-            timing_wall_s=timing_wall_s,
-            pin_count=len(sta.graph.topo_order),
-        )
+        if cone_fractions:
+            record.cone_fraction = (
+                sum(cone_fractions) / len(cone_fractions)
+            )
+        if record.incremental_retimes and record.full_retimes:
+            record.retime_engine = "mixed"
+        elif record.incremental_retimes:
+            record.retime_engine = "incremental"
+        elif record.full_retimes:
+            record.retime_engine = "full" if incremental else "rebuild"
+        return sta, record, aborted, False

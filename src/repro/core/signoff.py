@@ -15,6 +15,8 @@ from typing import Dict, List, Optional
 from repro.aging.avs import AvsController
 from repro.errors import SignoffError
 from repro.netlist.design import Design
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.sta.constraints import Constraints
 from repro.sta.mcmm import McmmResult, Scenario, ScenarioSet
 from repro.core.margins import MarginStackup
@@ -84,6 +86,17 @@ def evaluate_signoff(
     be coverable by AVS within the rail range — verified by actually
     running the AVS controller against the worst scenario's conditions.
     """
+    with obs_tracing.span("evaluate_signoff", design=design.name,
+                          style=policy.setup_style) as sp:
+        verdict = _evaluate(design, policy)
+        sp.set(passed=verdict.passed)
+    obs_metrics.inc("signoff.verdicts")
+    obs_metrics.inc("signoff.verdicts.passed" if verdict.passed
+                    else "signoff.verdicts.failed")
+    return verdict
+
+
+def _evaluate(design: Design, policy: SignoffPolicy) -> SignoffVerdict:
     result: McmmResult = policy.scenarios.run(design)
     margin = policy.setup_margin()
     scenario_wns = {n: r.wns("setup") for n, r in result.reports.items()}

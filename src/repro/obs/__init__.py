@@ -1,0 +1,57 @@
+"""Unified observability: tracing, metrics, export, profiling.
+
+The substrate every engine in this repo reports through:
+
+- :mod:`repro.obs.tracing` — hierarchical spans with deterministic ids,
+  thread/process-safe collection, and worker-span ingestion;
+- :mod:`repro.obs.metrics` — process-local counters, gauges and
+  fixed-bucket histograms with cheap disabled no-ops;
+- :mod:`repro.obs.export` — Chrome-trace (Perfetto) JSON and JSONL
+  event files, plus the per-phase wall-clock summary behind
+  ``repro trace summarize``;
+- :mod:`repro.obs.profile` — opt-in per-span cProfile capture.
+
+Instrumented sites call :func:`repro.obs.span`, :func:`repro.obs.inc`,
+:func:`repro.obs.observe` and :func:`repro.obs.set_gauge`; all four are
+no-ops until a tracer/registry is activated (CLI ``--trace`` /
+``--metrics``, or :func:`tracing.use` / :func:`metrics.use` in code).
+"""
+
+from repro.obs import export, metrics, profile, tracing
+from repro.obs.export import (
+    TraceSummary,
+    chrome_trace,
+    summarize,
+    summarize_file,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    inc,
+    observe,
+    set_gauge,
+)
+from repro.obs.profile import SpanProfiler
+from repro.obs.tracing import Span, Tracer, span
+
+__all__ = [
+    "export",
+    "metrics",
+    "profile",
+    "tracing",
+    "Span",
+    "Tracer",
+    "span",
+    "MetricsRegistry",
+    "inc",
+    "observe",
+    "set_gauge",
+    "SpanProfiler",
+    "TraceSummary",
+    "chrome_trace",
+    "summarize",
+    "summarize_file",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

@@ -1,0 +1,92 @@
+"""Opt-in profiling hooks: per-span cProfile capture for named hot spans.
+
+Tracing tells you *which* phase is slow; profiling tells you *why*. A
+:class:`SpanProfiler` registers with a :class:`~repro.obs.tracing.Tracer`
+and, whenever a span whose name it watches opens, runs the span's body
+under ``cProfile``, aggregating the captured stats per span name across
+every occurrence.
+
+CPython allows one active profiler per thread, so the hook is strictly
+re-entrancy-guarded: a watched span opening inside an already-profiled
+span (on the same thread) is skipped rather than crashing the tracer —
+the outer capture already contains the inner frames. Unwatched spans
+cost one set lookup; tracers without a profiler skip even that.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["SpanProfiler"]
+
+
+class SpanProfiler:
+    """Aggregates cProfile stats for spans with registered names.
+
+    Args:
+        names: span names to profile (e.g. ``{"retime_cone",
+            "full_update"}``). Everything else passes through untouched.
+    """
+
+    def __init__(self, names: Iterable[str]):
+        self.names = frozenset(names)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: one aggregated pstats.Stats per profiled span name
+        self._stats: Dict[str, pstats.Stats] = {}
+        #: spans skipped because a profile was already running
+        self.skipped = 0
+
+    # ------------------------------------------------------------------ #
+    # tracer hooks (called by Tracer._push / Tracer._pop)
+
+    def span_started(self, span_obj) -> None:
+        if span_obj.name not in self.names:
+            return
+        if getattr(self._local, "active", None) is not None:
+            self.skipped += 1
+            return
+        profiler = cProfile.Profile()
+        self._local.active = (span_obj.span_id, profiler)
+        profiler.enable()
+
+    def span_finished(self, span_obj) -> None:
+        active = getattr(self._local, "active", None)
+        if active is None or active[0] != span_obj.span_id:
+            return
+        span_id, profiler = active
+        profiler.disable()
+        self._local.active = None
+        stats = pstats.Stats(profiler)
+        with self._lock:
+            existing = self._stats.get(span_obj.name)
+            if existing is None:
+                self._stats[span_obj.name] = stats
+            else:
+                existing.add(profiler)
+
+    # ------------------------------------------------------------------ #
+    # results
+
+    def profiled_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._stats)
+
+    def stats(self, name: str) -> Optional[pstats.Stats]:
+        """Aggregated stats for one span name (None before any capture)."""
+        with self._lock:
+            return self._stats.get(name)
+
+    def render(self, name: str, top: int = 12) -> str:
+        """Top functions by cumulative time inside spans named ``name``."""
+        stats = self.stats(name)
+        if stats is None:
+            return f"no profile captured for span {name!r}"
+        buffer = io.StringIO()
+        stats.stream = buffer  # pstats prints to its stream attribute
+        stats.sort_stats("cumulative").print_stats(top)
+        return f"profile for span {name!r}:\n{buffer.getvalue().rstrip()}"

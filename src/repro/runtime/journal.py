@@ -15,6 +15,14 @@ Crash safety comes from the format, not from locks:
 - entry keys embed content fingerprints, so a journal recorded against
   different inputs simply never matches — stale checkpoints cannot
   poison a resumed run.
+
+IO failure degrades, never crashes: an ``OSError`` while appending
+(disk full, revoked permissions, a dying fsync) marks the journal
+:attr:`unavailable <RunJournal.available>` and :meth:`record` becomes a
+no-op returning False. The supervised run *continues* — losing the
+checkpoint must not lose the computation — and callers surface the
+degradation (the signoff scheduler emits a ``checkpoint unavailable``
+event). Already-recorded entries stay usable for in-process lookups.
 """
 
 from __future__ import annotations
@@ -60,6 +68,12 @@ class RunJournal:
         #: mismatches. Non-zero after resuming from a killed run is
         #: normal (the in-flight line died with the writer).
         self.corrupt_entries = 0
+        #: False once an append hit an OSError; further records no-op.
+        self.available = True
+        #: IO errors absorbed by :meth:`record`.
+        self.io_errors = 0
+        #: "ErrorClass: message" of the failure that disabled the journal.
+        self.last_error: Optional[str] = None
         self._load()
 
     def __len__(self) -> int:
@@ -96,9 +110,19 @@ class RunJournal:
         blob = self._entries.get((kind, _normalize_key(key)))
         return None if blob is None else pickle.loads(blob)
 
-    def record(self, kind: str, key, payload: Any) -> None:
-        """Append one completed unit; flushed and fsync'd immediately."""
+    def record(self, kind: str, key, payload: Any) -> bool:
+        """Append one completed unit; flushed and fsync'd immediately.
+
+        Returns True when the entry is durably on disk. An ``OSError``
+        anywhere in the append (open, write, fsync) marks the journal
+        unavailable and returns False — checkpointing degrades, the run
+        does not crash. Unpicklable payloads still raise
+        :class:`~repro.errors.CheckpointError`: that is a caller bug,
+        not an IO fault.
+        """
         norm = _normalize_key(key)
+        if not self.available:
+            return False
         try:
             blob = pickle.dumps(payload)
         except Exception as exc:
@@ -112,11 +136,18 @@ class RunJournal:
             "sha": hashlib.sha256(blob).hexdigest(),
             "data": base64.b64encode(blob).decode("ascii"),
         })
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            self.available = False
+            self.io_errors += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
         self._entries[(kind, norm)] = blob
+        return True
 
     def keys(self, kind: str) -> List[Tuple]:
         """All journaled keys of one kind (load order)."""

@@ -55,6 +55,7 @@ from repro.errors import (
     WorkerCrashError,
     WorkerTimeoutError,
 )
+from repro.obs import metrics as obs_metrics
 
 #: Executor fallback order: when a pool dies the supervisor downgrades
 #: one step and resubmits outstanding work.
@@ -222,6 +223,8 @@ class SupervisedExecutor:
         execution.error_chain.append(
             f"attempt {attempt}: {type(error).__name__}: {error.message}"
         )
+        if isinstance(error, WorkerTimeoutError):
+            obs_metrics.inc("supervisor.timeouts")
         if attempt >= self.policy.max_attempts:
             execution.status = TaskStatus.DEGRADED
             execution.error = TaskDegradedError(
@@ -234,11 +237,13 @@ class SupervisedExecutor:
                 f"quarantine {execution.name}: degraded after "
                 f"{attempt} attempt(s)"
             )
+            obs_metrics.inc("supervisor.quarantines")
             return
         self._event(
             f"retry {execution.name}: attempt {attempt} failed "
             f"({type(error).__name__})"
         )
+        obs_metrics.inc("supervisor.retries")
         self.sleep(self.policy.delay(attempt))
         queue.append((execution.name, attempt + 1))
 
@@ -421,6 +426,7 @@ class SupervisedExecutor:
                 )
             self.fallbacks.append(f"{flavor}->{nxt}")
             self._event(f"executor fallback: {flavor} -> {nxt}")
+            obs_metrics.inc("supervisor.fallbacks")
             flavor = nxt
         self.executor_used = flavor
 

@@ -39,6 +39,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.design import PinRef
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.liberty.cell import PinDirection
 from repro.sta.analysis import STA
 from repro.sta.graph import CellEdge, NetEdge, TimingGraph
@@ -108,56 +110,61 @@ class IncrementalTimer:
                 sta.report = self._build_report()
             return sta.report
 
-        # Phase 1 (may raise, mutates nothing): plan the graph rebinds.
-        plans = [self._plan_instance_edges(name) for name in names]
+        with obs_tracing.span("retime_cone", design=sta.design.name,
+                              edited=len(names)) as cone_span:
+            # Phase 1 (may raise, mutates nothing): plan the rebinds.
+            plans = [self._plan_instance_edges(name) for name in names]
 
-        # Phase 2 (infallible): the edit is absorbable — invalidate
-        # registered caches for this design and apply the rebinds.
-        self._invalidate_caches()
-        for plan in plans:
-            self._apply_instance_edges(plan)
+            # Phase 2 (infallible): the edit is absorbable — invalidate
+            # registered caches for this design and apply the rebinds.
+            self._invalidate_caches()
+            for plan in plans:
+                self._apply_instance_edges(plan)
 
-        seeds: Set[PinRef] = set()
-        touched_nets: Set[str] = set()
-        for name in names:
-            inst = sta.design.instance(name)
-            cell = sta.library.cell(inst.cell_name)
-            for pin in cell.pins.values():
-                ref = PinRef(name, pin.name)
-                net_name = inst.net_of(pin.name)
-                touched_nets.add(net_name)
-                if pin.direction is PinDirection.OUTPUT:
-                    seeds.add(ref)
-                else:
-                    # Input cap changed: the driving net's delay and its
-                    # driver's load change too.
-                    sta.parasitics.invalidate(net_name)
-                    net = sta.design.get_net(net_name)
-                    if net.driver is not None and not net.driver.is_port:
-                        seeds.add(net.driver)
-                    seeds.add(ref)
+            seeds: Set[PinRef] = set()
+            touched_nets: Set[str] = set()
+            for name in names:
+                inst = sta.design.instance(name)
+                cell = sta.library.cell(inst.cell_name)
+                for pin in cell.pins.values():
+                    ref = PinRef(name, pin.name)
+                    net_name = inst.net_of(pin.name)
+                    touched_nets.add(net_name)
+                    if pin.direction is PinDirection.OUTPUT:
+                        seeds.add(ref)
+                    else:
+                        # Input cap changed: the driving net's delay and
+                        # its driver's load change too.
+                        sta.parasitics.invalidate(net_name)
+                        net = sta.design.get_net(net_name)
+                        if net.driver is not None and not net.driver.is_port:
+                            seeds.add(net.driver)
+                        seeds.add(ref)
 
-        si_delta = self._refresh_si_deltas(touched_nets)
+            si_delta = self._refresh_si_deltas(touched_nets)
 
-        affected = self._downstream_cone(seeds)
-        self.last_cone_size = len(affected)
-        self.incremental_updates += 1
+            affected = self._downstream_cone(seeds)
+            self.last_cone_size = len(affected)
+            self.incremental_updates += 1
+            cone_span.set(cone=len(affected))
+            obs_metrics.inc("sta.retime.incremental")
+            obs_metrics.observe("sta.retime.cone_size", len(affected))
 
-        # Invalidate and recompute in topological order.
-        for ref in affected:
-            for direction in DIRECTIONS:
-                sta.prop.arrivals.pop((ref, direction), None)
-        for ref in sta.graph.topo_order:
-            if ref not in affected:
-                continue
-            for edge in sta.graph.in_edges.get(ref, []):
-                if isinstance(edge, NetEdge):
-                    _propagate_net_edge(sta.graph, sta.parasitics, sta.prop,
-                                        edge, si_delta)
-                else:
-                    _propagate_cell_edge(sta.graph, sta.parasitics, sta.prop,
-                                         edge, sta.derates)
-        return self._rebuild_report()
+            # Invalidate and recompute in topological order.
+            for ref in affected:
+                for direction in DIRECTIONS:
+                    sta.prop.arrivals.pop((ref, direction), None)
+            for ref in sta.graph.topo_order:
+                if ref not in affected:
+                    continue
+                for edge in sta.graph.in_edges.get(ref, []):
+                    if isinstance(edge, NetEdge):
+                        _propagate_net_edge(sta.graph, sta.parasitics,
+                                            sta.prop, edge, si_delta)
+                    else:
+                        _propagate_cell_edge(sta.graph, sta.parasitics,
+                                             sta.prop, edge, sta.derates)
+            return self._rebuild_report()
 
     def full_update(self) -> TimingReport:
         """Fall back to a complete, honest re-run.
@@ -168,15 +175,17 @@ class IncrementalTimer:
         NDR promotions and constraint edits are all absorbed.
         """
         sta = self.sta
-        self._invalidate_caches()
-        self.full_updates += 1
-        self.last_cone_size = 0
-        sta.design.bind(sta.library)
-        sta.parasitics.invalidate()
-        sta.graph = TimingGraph(sta.design, sta.library, sta.constraints)
-        report = sta.run()
-        sta.report = report
-        return report
+        with obs_tracing.span("full_update", design=sta.design.name):
+            self._invalidate_caches()
+            self.full_updates += 1
+            self.last_cone_size = 0
+            obs_metrics.inc("sta.retime.full")
+            sta.design.bind(sta.library)
+            sta.parasitics.invalidate()
+            sta.graph = TimingGraph(sta.design, sta.library, sta.constraints)
+            report = sta.run()
+            sta.report = report
+            return report
 
     # ------------------------------------------------------------------ #
 

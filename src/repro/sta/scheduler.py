@@ -41,6 +41,8 @@ import numpy as np
 from repro.beol.stack import BeolStack, default_stack
 from repro.errors import SignoffError, TimingError
 from repro.netlist.design import Design
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.runtime.journal import RunJournal
 from repro.runtime.supervisor import (
     RetryPolicy,
@@ -368,9 +370,10 @@ class ScenarioTimerPool:
                     f"no warm timer for scenario {name!r} and no build "
                     "callable supplied"
                 )
-            sta = build()
-            if sta.prop is None or sta.report is None:
-                sta.report = sta.run()
+            with obs_tracing.span("sta_build", scenario=name):
+                sta = build()
+                if sta.prop is None or sta.report is None:
+                    sta.report = sta.run()
             self.adopt(name, sta)
             self.builds += 1
             return sta.report
@@ -393,6 +396,22 @@ class ScenarioTimerPool:
 # executor
 
 
+@dataclass
+class TracedResult:
+    """A worker result plus the spans recorded while computing it.
+
+    Workers run in threads or separate processes, so their spans cannot
+    be appended to the coordinator's tracer directly; they travel back
+    with the result (pickled across process pools) and are
+    :meth:`~repro.obs.tracing.Tracer.ingest`-ed afterwards. Spans of
+    *failed* attempts die with the attempt — only the succeeding
+    attempt's spans reach the trace.
+    """
+
+    value: object
+    spans: List[obs_tracing.Span] = field(default_factory=list)
+
+
 def _run_scenario_job(job, attempt: int = 1):
     """Module-level worker so process pools can pickle it.
 
@@ -410,13 +429,31 @@ def _run_scenario_job(job, attempt: int = 1):
     ``injector`` (a :class:`repro.testing.faults.FaultInjector`) fires
     planned faults at (scenario, attempt) coordinates before analysis —
     the hook the chaos suite drives crash/hang/pool-death recovery with.
+
+    ``trace`` arms per-worker tracing: the attempt records into a
+    private tracer (thread-local, so parallel workers never interleave)
+    and returns a :class:`TracedResult` carrying its spans home.
     """
-    scenario, design, stack, isolate, injector = job
-    if injector is not None:
-        injector.fire(scenario.name, attempt)
-    if isolate:
-        design = copy.deepcopy(design)
-    return scenario.run(design, stack)
+    scenario, design, stack, isolate, injector, trace = job
+    if not trace:
+        if injector is not None:
+            injector.fire(scenario.name, attempt)
+        if isolate:
+            design = copy.deepcopy(design)
+        return scenario.run(design, stack)
+
+    local = obs_tracing.Tracer()
+    with obs_tracing.use(local):
+        with local.span("scenario", scenario=scenario.name,
+                        attempt=attempt, isolated=isolate):
+            if injector is not None:
+                injector.fire(scenario.name, attempt)
+            if isolate:
+                with local.span("isolate_design", design=design.name):
+                    design = copy.deepcopy(design)
+            with local.span("sta_run", scenario=scenario.name):
+                report = scenario.run(design, stack)
+    return TracedResult(value=report, spans=local.spans())
 
 
 def parallel_map(fn: Callable, items: Iterable, jobs: int = 1,
@@ -488,6 +525,11 @@ class SignoffOutcome:
     executor_used: str = ""
     fallbacks: List[str] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
+    #: This pass's cache activity (None when the scheduler runs
+    #: uncached): the shared cache's counters at pass end minus their
+    #: values at pass start, so a warm re-signoff reads "N hits / 0
+    #: misses" even though the cache object is long-lived.
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def ok(self) -> bool:
@@ -542,6 +584,14 @@ class SignoffOutcome:
             lines.append(
                 f"DEGRADED: {len(self.degraded)}/{len(self.records)} "
                 f"scenario(s) quarantined"
+            )
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            lines.append(
+                f"cache: {stats.hits} hit(s) / {stats.misses} miss(es) "
+                f"({stats.hit_rate():.0%} hit rate), "
+                f"{stats.evaluations} evaluation(s), "
+                f"{stats.invalidations} invalidation(s)"
             )
         return "\n".join(lines)
 
@@ -633,40 +683,73 @@ class SignoffScheduler:
 
     def signoff(self, design: Design) -> SignoffOutcome:
         """Run (or reuse) every scenario and merge the results."""
+        with obs_tracing.span(
+            "signoff", design=design.name, scenarios=len(self.scenarios),
+            jobs=self.jobs, executor=self.executor,
+        ) as signoff_span:
+            return self._signoff_traced(design, signoff_span)
+
+    def _pass_cache_stats(self, before: CacheStats) -> CacheStats:
+        """This pass's cache counter deltas (the cache is long-lived)."""
+        now = self.cache.stats
+        return CacheStats(
+            hits=now.hits - before.hits,
+            misses=now.misses - before.misses,
+            evaluations=now.evaluations - before.evaluations,
+            invalidations=now.invalidations - before.invalidations,
+            corruptions=now.corruptions - before.corruptions,
+        )
+
+    def _signoff_traced(self, design: Design,
+                        signoff_span) -> SignoffOutcome:
+        tracer = obs_tracing.active_tracer()
         t0 = time.perf_counter()
+        stats_before = (copy.copy(self.cache.stats)
+                        if self.cache is not None else None)
         design_fp = design_fingerprint(design)
         reports: Dict[str, TimingReport] = {}
         records: Dict[str, ScenarioRecord] = {}
         hits: List[str] = []
         journal_hits: List[str] = []
         todo = []
-        for scenario in self.scenarios:
-            fp = scenario_fingerprint(scenario)
-            key = (design.name, design_fp, fp)
-            cached = None
-            if self.cache is not None:
-                cached = self.cache.lookup(*key)
-            if cached is not None:
-                reports[scenario.name] = cached
-                hits.append(scenario.name)
-                records[scenario.name] = ScenarioRecord(
-                    name=scenario.name, status=ScenarioStatus.CACHED,
-                    fingerprint=fp,
-                )
-                continue
-            if self.journal is not None:
-                entry = self.journal.lookup("scenario", key)
-                if entry is not None:
-                    reports[scenario.name] = entry
-                    journal_hits.append(scenario.name)
+        with obs_tracing.span("cache_triage",
+                              scenarios=len(self.scenarios)):
+            for scenario in self.scenarios:
+                fp = scenario_fingerprint(scenario)
+                key = (design.name, design_fp, fp)
+                cached = None
+                if self.cache is not None:
+                    cached = self.cache.lookup(*key)
+                if cached is not None:
+                    reports[scenario.name] = cached
+                    hits.append(scenario.name)
                     records[scenario.name] = ScenarioRecord(
-                        name=scenario.name, status=ScenarioStatus.JOURNALED,
+                        name=scenario.name, status=ScenarioStatus.CACHED,
                         fingerprint=fp,
                     )
-                    if self.cache is not None:
-                        self.cache.store(*key, entry)
+                    with obs_tracing.span("scenario",
+                                          scenario=scenario.name,
+                                          source="cache"):
+                        pass
                     continue
-            todo.append((scenario, fp))
+                if self.journal is not None:
+                    entry = self.journal.lookup("scenario", key)
+                    if entry is not None:
+                        reports[scenario.name] = entry
+                        journal_hits.append(scenario.name)
+                        records[scenario.name] = ScenarioRecord(
+                            name=scenario.name,
+                            status=ScenarioStatus.JOURNALED,
+                            fingerprint=fp,
+                        )
+                        if self.cache is not None:
+                            self.cache.store(*key, entry)
+                        with obs_tracing.span("scenario",
+                                              scenario=scenario.name,
+                                              source="journal"):
+                            pass
+                        continue
+                todo.append((scenario, fp))
 
         isolate = self._needs_isolation(len(todo))
         events: List[str] = []
@@ -677,15 +760,17 @@ class SignoffScheduler:
             allow_fallback=self.allow_fallback,
             on_event=events.append,
         )
-        executions = supervisor.run([
-            SupervisedTask(
-                name=scenario.name,
-                fn=_run_scenario_job,
-                payload=(scenario, design, self.stack, isolate,
-                         self.fault_injector),
-            )
-            for scenario, _ in todo
-        ])
+        with obs_tracing.span("scenario_fanout", count=len(todo),
+                              isolated=isolate) as fanout_span:
+            executions = supervisor.run([
+                SupervisedTask(
+                    name=scenario.name,
+                    fn=_run_scenario_job,
+                    payload=(scenario, design, self.stack, isolate,
+                             self.fault_injector, tracer is not None),
+                )
+                for scenario, _ in todo
+            ])
         self.evaluations += len(todo)
 
         recomputed: List[str] = []
@@ -704,6 +789,15 @@ class SignoffScheduler:
                 )
                 continue
             report = execution.result
+            if isinstance(report, TracedResult):
+                # Worker spans come home with the result; adopt them
+                # under the fan-out span in submission order, so span
+                # ids stay deterministic for any jobs count and the
+                # summary's self-time attribution stays additive.
+                if tracer is not None:
+                    tracer.ingest(report.spans,
+                                  parent_id=fanout_span.span_id)
+                report = report.value
             reports[scenario.name] = report
             recomputed.append(scenario.name)
             status = (ScenarioStatus.OK
@@ -718,7 +812,26 @@ class SignoffScheduler:
                 self.cache.store(*key, report)
                 self.cache.stats.evaluations += 1
             if self.journal is not None:
-                self.journal.record("scenario", key, report)
+                was_available = self.journal.available
+                if not self.journal.record("scenario", key, report) \
+                        and was_available:
+                    # First journal IO failure: the run continues, but
+                    # the checkpoint is gone — surface it, loudly.
+                    events.append(
+                        "checkpoint unavailable: "
+                        f"{self.journal.last_error or 'journal IO error'}"
+                    )
+                    obs_metrics.inc("runtime.journal.io_errors")
+
+        obs_metrics.inc("signoff.passes")
+        obs_metrics.inc("signoff.cache.hits", len(hits))
+        obs_metrics.inc("signoff.cache.misses",
+                        len(self.scenarios) - len(hits))
+        obs_metrics.inc("signoff.journal.hits", len(journal_hits))
+        obs_metrics.inc("signoff.evaluations", len(todo))
+        obs_metrics.inc("signoff.degraded", len(degraded))
+        if self.cache is not None:
+            obs_metrics.set_gauge("signoff.cache.entries", len(self.cache))
 
         ordered = {
             s.name: reports[s.name] for s in self.scenarios
@@ -736,6 +849,8 @@ class SignoffScheduler:
             executor_used=supervisor.executor_used,
             fallbacks=list(supervisor.fallbacks),
             events=events,
+            cache_stats=(self._pass_cache_stats(stats_before)
+                         if self.cache is not None else None),
         )
         if degraded and not self.keep_going:
             # Every success is already cached and journaled, so the

@@ -1,0 +1,143 @@
+"""Tests for trace export (Chrome trace / JSONL) and summaries."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.export import (
+    chrome_trace,
+    load_events,
+    summarize,
+    summarize_file,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.tracing import Span, Tracer
+
+
+def _sample_spans():
+    """A two-level tree with hand-authored timings (seconds)."""
+    return [
+        Span(name="closure", span_id=1, parent_id=None,
+             start_s=100.0, duration_s=1.0, attrs={"design": "aes"},
+             pid=7, tid=11),
+        Span(name="iteration", span_id=2, parent_id=1,
+             start_s=100.1, duration_s=0.6, attrs={"iteration": 1}),
+        Span(name="retime", span_id=3, parent_id=2,
+             start_s=100.2, duration_s=0.4, attrs={}),
+    ]
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        trace = chrome_trace(_sample_spans(), metadata={"design": "aes"})
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+        root = events[0]
+        assert root["ts"] == 0.0  # rebased to the earliest span
+        assert root["dur"] == pytest.approx(1e6)  # 1 s in µs
+        assert root["args"]["span_id"] == 1
+        assert "parent_id" not in root["args"]
+        assert events[1]["args"]["parent_id"] == 1
+        assert root["args"]["design"] == "aes"
+        assert root["pid"] == 7 and root["tid"] == 11
+
+    def test_non_json_attrs_are_repred(self):
+        span = Span(name="x", span_id=1, parent_id=None, start_s=0.0,
+                    duration_s=0.1, attrs={"obj": {"nested": 1}})
+        event = chrome_trace([span])["traceEvents"][0]
+        assert event["args"]["obj"] == repr({"nested": 1})
+
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(path, _sample_spans())
+        json.loads(path.read_text())  # valid JSON document
+        events = load_events(path)
+        assert [e["name"] for e in events] == \
+            ["closure", "iteration", "retime"]
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, _sample_spans())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        events = load_events(path)
+        assert events == [json.loads(line) for line in lines]
+
+    def test_summaries_agree_across_formats(self, tmp_path):
+        chrome, jsonl = tmp_path / "t.json", tmp_path / "t.jsonl"
+        write_chrome_trace(chrome, _sample_spans())
+        write_events_jsonl(jsonl, _sample_spans())
+        assert summarize_file(chrome).render() == \
+            summarize_file(jsonl).render()
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_events(tmp_path / "absent.json")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            load_events(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="neither"):
+            load_events(path)
+
+
+class TestSummarize:
+    def test_self_time_subtracts_direct_children(self):
+        summary = summarize(
+            chrome_trace(_sample_spans())["traceEvents"]
+        )
+        closure = summary.phase("closure")
+        iteration = summary.phase("iteration")
+        retime = summary.phase("retime")
+        assert closure.total_s == pytest.approx(1.0)
+        assert closure.self_s == pytest.approx(0.4)  # 1.0 - 0.6 child
+        assert iteration.self_s == pytest.approx(0.2)  # 0.6 - 0.4 child
+        assert retime.self_s == pytest.approx(0.4)  # leaf: self == total
+        assert summary.span_count == 3
+        assert summary.wall_s == pytest.approx(1.0)
+
+    def test_phases_sorted_by_self_time(self):
+        summary = summarize(chrome_trace(_sample_spans())["traceEvents"])
+        selfs = [stat.self_s for stat in summary.phases]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_render_mentions_every_phase(self):
+        summary = summarize(chrome_trace(_sample_spans())["traceEvents"])
+        text = summary.render()
+        for name in ("closure", "iteration", "retime"):
+            assert name in text
+        assert "3 phase(s), 3 span(s)" in text
+
+    def test_summarize_live_tracer_output(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        summary = summarize(chrome_trace(tracer.spans())["traceEvents"])
+        assert summary.phase("outer").count == 1
+        assert summary.phase("inner").count == 1
+        assert summary.phase("outer").total_s >= \
+            summary.phase("inner").total_s
+
+    def test_empty_events(self):
+        summary = summarize([])
+        assert summary.phases == []
+        assert summary.wall_s == 0.0

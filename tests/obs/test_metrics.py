@@ -1,0 +1,134 @@
+"""Tests for the process-local metrics registry."""
+
+import json
+
+import pytest
+
+from repro.errors import TimingError
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(TimingError):
+            counter.inc(-1)
+        assert counter.snapshot() == {"type": "counter", "value": 3.5}
+
+    def test_gauge_is_last_write_wins(self):
+        gauge = Gauge("entries")
+        gauge.set(9)
+        gauge.set(4)
+        assert gauge.value == 4
+        assert gauge.snapshot() == {"type": "gauge", "value": 4}
+
+    def test_histogram_buckets_are_inclusive_upper_bounds(self):
+        hist = Histogram("cone", buckets=(10, 100))
+        for value in (1, 10, 11, 100, 5000):
+            hist.observe(value)
+        # counts: <=10, <=100, +inf
+        assert hist.counts == [2, 2, 1]
+        assert hist.total == 5
+        assert hist.sum == 5122
+        assert hist.mean == pytest.approx(1024.4)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(TimingError):
+            Histogram("bad", buckets=())
+        with pytest.raises(TimingError):
+            Histogram("bad", buckets=(5, 1))
+        with pytest.raises(TimingError):
+            Histogram("bad", buckets=(1, 1, 2))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert len(registry) == 3
+        assert registry.names() == ["g", "h", "x"]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TimingError):
+            registry.gauge("x")
+        with pytest.raises(TimingError):
+            registry.histogram("x")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(TimingError):
+            registry.histogram("h", buckets=(1, 2, 3))
+
+    def test_snapshot_and_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        registry.gauge("cache.entries").set(7)
+        registry.histogram("cone", buckets=(10, 100)).observe(42)
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["cache.hits"] == {"type": "counter", "value": 3}
+        assert loaded["cache.entries"] == {"type": "gauge", "value": 7}
+        assert loaded["cone"]["counts"] == [0, 1, 0]
+        assert list(loaded) == sorted(loaded)
+
+    def test_render_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.histogram("h").observe(3.0)
+        text = registry.render()
+        assert text.index("a") < text.index("b")
+        assert "n=1 mean=3" in text
+
+
+class TestActiveRegistryProtocol:
+    def test_helpers_noop_when_disabled(self):
+        assert metrics.active_registry() is None
+        # Must not raise, must not create anything.
+        metrics.inc("nope")
+        metrics.observe("nope", 1.0)
+        metrics.set_gauge("nope", 1.0)
+
+    def test_helpers_record_into_active_registry(self):
+        registry = MetricsRegistry()
+        with metrics.use(registry):
+            metrics.inc("runs")
+            metrics.inc("runs", 2)
+            metrics.set_gauge("depth", 5)
+            metrics.observe("wall", 0.25, buckets=(0.1, 1.0))
+        assert metrics.active_registry() is None
+        assert registry.counter("runs").value == 3
+        assert registry.gauge("depth").value == 5
+        assert registry.histogram("wall", buckets=(0.1, 1.0)).counts == \
+            [0, 1, 0]
+
+    def test_use_none_masks_process_default(self):
+        registry = MetricsRegistry()
+        previous = metrics.set_default_registry(registry)
+        try:
+            metrics.inc("seen")
+            with metrics.use(None):
+                metrics.inc("hidden")
+            assert registry.counter("seen").value == 1
+            assert registry.get("hidden") is None
+        finally:
+            metrics.set_default_registry(previous)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

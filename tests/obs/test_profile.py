@@ -1,0 +1,58 @@
+"""Tests for opt-in per-span cProfile capture."""
+
+from repro.obs.profile import SpanProfiler
+from repro.obs.tracing import Tracer
+
+
+def _busywork(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestSpanProfiler:
+    def test_captures_watched_span(self):
+        profiler = SpanProfiler({"retime"})
+        tracer = Tracer(profiler=profiler)
+        with tracer.span("retime"):
+            _busywork()
+        assert profiler.profiled_names() == ["retime"]
+        stats = profiler.stats("retime")
+        assert stats is not None
+        assert "_busywork" in profiler.render("retime")
+
+    def test_unwatched_span_passes_through(self):
+        profiler = SpanProfiler({"retime"})
+        tracer = Tracer(profiler=profiler)
+        with tracer.span("iteration"):
+            _busywork()
+        assert profiler.profiled_names() == []
+        assert profiler.stats("iteration") is None
+        assert "no profile captured" in profiler.render("iteration")
+
+    def test_aggregates_across_occurrences(self):
+        profiler = SpanProfiler({"retime"})
+        tracer = Tracer(profiler=profiler)
+        for _ in range(3):
+            with tracer.span("retime"):
+                _busywork()
+        stats = profiler.stats("retime")
+        # One primitive call of _busywork per span occurrence.
+        busy = [key for key in stats.stats if key[2] == "_busywork"]
+        assert len(busy) == 1
+        assert stats.stats[busy[0]][0] == 3  # call count
+
+    def test_nested_watched_span_is_skipped_not_fatal(self):
+        profiler = SpanProfiler({"outer", "inner"})
+        tracer = Tracer(profiler=profiler)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                _busywork()
+        # CPython allows one profiler per thread: the inner capture is
+        # skipped, its frames live inside the outer capture.
+        assert profiler.skipped == 1
+        assert profiler.profiled_names() == ["outer"]
+
+    def test_tracer_without_profiler_is_unaffected(self):
+        tracer = Tracer()
+        with tracer.span("retime"):
+            _busywork()
+        assert len(tracer) == 1

@@ -155,3 +155,86 @@ class TestCrashSafety:
         assert not path.exists()
         assert len(journal) == 0
         assert len(RunJournal(path)) == 0
+
+
+class TestIoDegradation:
+    """IO failure degrades the journal, never the run (PR 5 contract)."""
+
+    def test_fsync_oserror_marks_unavailable(self, tmp_path, monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert journal.record("scenario", ("ok",), {"x": 1}) is True
+
+        def dying_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.runtime.journal.os.fsync", dying_fsync)
+        assert journal.record("scenario", ("lost",), {"x": 2}) is False
+        assert journal.available is False
+        assert journal.io_errors == 1
+        assert "OSError" in journal.last_error
+        assert "No space left" in journal.last_error
+
+    def test_open_oserror_marks_unavailable(self, tmp_path, monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        real_open = open
+
+        def dying_open(*args, **kwargs):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr("builtins.open", dying_open)
+        try:
+            assert journal.record("scenario", ("lost",), {"x": 1}) is False
+        finally:
+            monkeypatch.setattr("builtins.open", real_open)
+        assert journal.available is False
+        assert journal.last_error.startswith("PermissionError")
+
+    def test_further_records_noop_after_failure(self, tmp_path,
+                                                monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        assert journal.record("scenario", ("a",), {}) is False
+        monkeypatch.undo()  # the disk "recovers" — journal stays down
+        assert journal.record("scenario", ("b",), {}) is False
+        assert journal.io_errors == 1  # only the first append touched IO
+
+    def test_failed_entry_not_served_from_memory(self, tmp_path,
+                                                 monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        journal.record("scenario", ("lost",), {"x": 1})
+        # The entry never hit disk, so it must not be claimable later.
+        assert journal.lookup("scenario", ("lost",)) is None
+        assert len(journal) == 0
+
+    def test_recorded_entries_survive_degradation(self, tmp_path,
+                                                  monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record("scenario", ("kept",), {"wns": -1.0})
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        journal.record("scenario", ("lost",), {"wns": -2.0})
+        # In-process lookups of already-durable entries keep working.
+        assert journal.lookup("scenario", ("kept",)) == {"wns": -1.0}
+        assert journal.available is False
+
+    def test_degraded_record_skips_serialization_entirely(self, tmp_path,
+                                                          monkeypatch):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        monkeypatch.setattr(
+            "repro.runtime.journal.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        journal.record("scenario", ("a",), {})
+        assert not journal.available
+        # A dead journal does no work: even an unpicklable payload is a
+        # silent no-op (the picklable-check belongs to the live path).
+        assert journal.record("scenario", ("b",), lambda: None) is False

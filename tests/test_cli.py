@@ -115,3 +115,87 @@ class TestOtherCommands:
     def test_unknown_design_rejected(self):
         with pytest.raises(SystemExit):
             main(["sta", "--design", "bogus"])
+
+
+class TestJobsValidation:
+    def test_jobs_zero_rejected_with_exit_1(self, capsys):
+        rc = main(["signoff", "--design", "tiny", "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--jobs must be a positive integer (got 0)" in captured.err
+        assert captured.out == ""  # rejected before any work ran
+
+    def test_jobs_negative_rejected_with_exit_1(self, capsys):
+        rc = main(["signoff", "--design", "tiny", "--jobs", "-3"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--jobs must be a positive integer (got -3)" in captured.err
+
+
+class TestObservability:
+    def test_closure_trace_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "closure.trace.json"
+        metrics = tmp_path / "closure.metrics.json"
+        rc = main([
+            "closure", "--design", "rand", "--gates", "240",
+            "--period", "440", "--iterations", "6",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "wrote" in captured.err
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"closure", "iteration", "stage", "retime"} <= names
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["closure.iterations"]["type"] == "counter"
+
+    def test_signoff_trace_collects_worker_spans(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "signoff.trace.json"
+        rc = main([
+            "signoff", "--design", "tiny", "--period", "800",
+            "--jobs", "2", "--no-validate", "--trace", str(trace),
+        ])
+        assert rc in (0, 1)
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"signoff", "cache_triage", "scenario_fanout",
+                "scenario", "sta_run"} <= names
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        rc = main([
+            "closure", "--design", "rand", "--gates", "240",
+            "--period", "440", "--iterations", "6",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["trace", "summarize", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase" in out and "self (s)" in out
+        assert "closure" in out and "retime" in out
+        assert "span(s)" in out
+
+    def test_trace_summarize_missing_file_is_structured_error(
+            self, tmp_path, capsys):
+        rc = main(["trace", "summarize", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert "error:" in captured.err
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        rc = main([
+            "closure", "--design", "rand", "--gates", "120",
+            "--period", "600", "--iterations", "4",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "wrote" not in captured.err
+        assert list(tmp_path.iterdir()) == []

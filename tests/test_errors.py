@@ -88,12 +88,14 @@ class TestCliErrorPaths:
         return code, captured.out, captured.err
 
     def test_bad_jobs_count(self, capsys):
+        # Validated up front by the CLI (exit 1, before any work runs)
+        # rather than surfacing the scheduler's TimingError as exit 4.
         code, _, err = self.run(
             capsys, "signoff", "--design", "tiny", "--jobs", "0",
             "--no-validate",
         )
-        assert code == EXIT_FATAL
-        assert "error: TimingError: jobs must be >= 1" in err
+        assert code == 1
+        assert "error: --jobs must be a positive integer" in err
         assert "Traceback" not in err
 
     def test_unknown_process_corner(self, capsys):
