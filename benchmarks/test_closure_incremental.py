@@ -20,6 +20,7 @@ which a loaded CI runner cannot flake.
 
 import time
 
+import pytest
 from conftest import RESULTS_DIR, once
 
 from repro.core.closure import ClosureConfig, ClosureEngine
@@ -48,15 +49,15 @@ def _scenario():
     return design, constraints
 
 
-def _closure(lib, timing, fix_order=None):
+def _closure(lib, timing, fix_order=None, engine="reference"):
     design, constraints = _scenario()
     config = ClosureConfig(
-        max_iterations=25, budget_per_fix=6, timing=timing,
+        max_iterations=25, budget_per_fix=6, timing=timing, engine=engine,
         **({"fix_order": fix_order} if fix_order else {}),
     )
-    engine = ClosureEngine(design, lib, constraints)
+    closure = ClosureEngine(design, lib, constraints)
     t0 = time.perf_counter()
-    report = engine.run(config)
+    report = closure.run(config)
     return report, time.perf_counter() - t0
 
 
@@ -71,14 +72,18 @@ def _pins_propagated(report):
     return full + cones
 
 
+@pytest.mark.parametrize("engine", ["reference", "vector"])
 def test_incremental_closure_speedup_and_equivalence(benchmark, lib,
-                                                     record_table):
+                                                     record_table, engine):
     def run():
         swap_order = ("vt_swap", "sizing")
-        default_inc, t_default_inc = _closure(lib, "incremental")
-        default_full, t_default_full = _closure(lib, "full")
-        eco_inc, t_eco_inc = _closure(lib, "incremental", swap_order)
-        eco_full, t_eco_full = _closure(lib, "full", swap_order)
+        default_inc, t_default_inc = _closure(lib, "incremental",
+                                              engine=engine)
+        default_full, t_default_full = _closure(lib, "full", engine=engine)
+        eco_inc, t_eco_inc = _closure(lib, "incremental", swap_order,
+                                      engine=engine)
+        eco_full, t_eco_full = _closure(lib, "full", swap_order,
+                                        engine=engine)
         return (default_inc, t_default_inc, default_full, t_default_full,
                 eco_inc, t_eco_inc, eco_full, t_eco_full)
 
@@ -90,7 +95,7 @@ def test_incremental_closure_speedup_and_equivalence(benchmark, lib,
     lines = [
         f"workload: aes_like {N_SBOXES}x{SBOX_GATES} "
         f"(~2400 gates, {eco_inc.pin_count} timing pins) @ "
-        f"{PERIOD_PS:.0f} ps",
+        f"{PERIOD_PS:.0f} ps, engine={engine}",
         f"{'closure run':<28} {'wall (s)':>9} {'retimes':>12} "
         f"{'cone':>7} {'final WNS':>10}",
     ]
@@ -114,7 +119,7 @@ def test_incremental_closure_speedup_and_equivalence(benchmark, lib,
         f"mean cone {default_inc.mean_cone_fraction:.1%} of "
         f"{default_inc.pin_count} pins",
     ]
-    record_table("closure_incremental", "\n".join(lines))
+    record_table(f"closure_incremental_{engine}", "\n".join(lines))
 
     # Divergence gate: both modes must agree exactly, both workloads.
     for inc, full in ((default_inc, default_full), (eco_inc, eco_full)):

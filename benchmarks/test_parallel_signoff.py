@@ -12,6 +12,7 @@ times.
 
 import time
 
+import pytest
 from conftest import once
 
 from repro.netlist.generators import random_logic
@@ -26,8 +27,9 @@ def _full_text(outcome) -> str:
     )
 
 
+@pytest.mark.parametrize("engine", ["reference", "vector"])
 def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
-                                            record_table):
+                                            record_table, engine):
     def run():
         constraints = Constraints.single_clock(520.0)
         constraints.input_delays = {f"in{i}": 60.0 for i in range(16)}
@@ -40,7 +42,8 @@ def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
         # assertion below isolates the fan-out, not the cache attach.
         serial = SignoffScheduler(scenario_set.scenarios,
                                   stack=scenario_set.stack, jobs=1,
-                                  cache=ScenarioResultCache())
+                                  cache=ScenarioResultCache(),
+                                  engine=engine)
         t0 = time.perf_counter()
         cold_serial = serial.signoff(design)
         t_serial = time.perf_counter() - t0
@@ -48,7 +51,8 @@ def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
         cache = ScenarioResultCache()
         parallel = SignoffScheduler(scenario_set.scenarios,
                                     stack=scenario_set.stack, jobs=4,
-                                    executor="thread", cache=cache)
+                                    executor="thread", cache=cache,
+                                    engine=engine)
         t0 = time.perf_counter()
         cold_parallel = parallel.signoff(design)
         t_parallel = time.perf_counter() - t0
@@ -64,7 +68,7 @@ def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
 
     lines = [
         f"workload: {n_scenarios}-view standard signoff matrix, "
-        f"150-gate block",
+        f"150-gate block, engine={engine}",
         f"{'pass':<22} {'wall (s)':>9} {'recomputed':>11} {'hits':>6}",
         f"{'serial cold (jobs=1)':<22} {t_serial:9.3f} "
         f"{len(cold_serial.recomputed):>11} {len(cold_serial.cache_hits):>6}",
@@ -78,7 +82,7 @@ def test_parallel_signoff_speedup_and_cache(benchmark, lib_factory,
         f"cache: {cache.stats.hits} hits / {cache.stats.misses} misses, "
         f"{cache.stats.evaluations} evaluations",
     ]
-    record_table("parallel_signoff", "\n".join(lines))
+    record_table(f"parallel_signoff_{engine}", "\n".join(lines))
 
     # Determinism: parallel fan-out changes nothing, byte for byte.
     assert _full_text(cold_serial) == _full_text(cold_parallel)

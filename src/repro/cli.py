@@ -196,6 +196,16 @@ def _cmd_signoff(args) -> int:
               file=sys.stderr)
         return EXIT_VIOLATIONS
 
+    from repro.sta.kernel import ENGINES
+
+    if args.engine not in ENGINES:
+        # Same contract as the --jobs guard: exit 1 with the valid
+        # choices listed, not argparse's usage-error 2.
+        print(f"error: unknown engine {args.engine!r}; "
+              f"pick from {', '.join(ENGINES)}",
+              file=sys.stderr)
+        return EXIT_VIOLATIONS
+
     design, _, constraints = _make_setup(args)
 
     def factory(process: str, vdd: float, temp: float):
@@ -240,6 +250,7 @@ def _cmd_signoff(args) -> int:
         journal=journal,
         keep_going=args.keep_going,
         fault_injector=fault_injector,
+        engine=args.engine,
     )
     with _obs_session(args):
         outcome = scheduler.signoff(design)
@@ -394,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sig.add_argument("--executor", default="thread",
                        choices=["serial", "thread", "process"],
                        help="worker pool flavor")
+    p_sig.add_argument("--engine", default="reference",
+                       help="timing engine: 'reference' (per-scenario "
+                            "oracle walk) or 'vector' (batched "
+                            "multi-corner array kernel)")
     p_sig.add_argument("--retries", type=int, default=2,
                        help="retry attempts per scenario after a failure")
     p_sig.add_argument("--timeout", type=float, default=None,

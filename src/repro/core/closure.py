@@ -46,6 +46,7 @@ from repro.runtime.supervisor import RetryPolicy
 from repro.sta.analysis import STA
 from repro.sta.constraints import Constraints
 from repro.sta.incremental import TIMER_STATE_VERSION
+from repro.sta.kernel import ENGINES
 from repro.sta.propagation import Derates
 from repro.sta.reports import TimingReport
 from repro.sta.scheduler import ScenarioTimerPool
@@ -111,6 +112,13 @@ class ClosureConfig:
     #: part of the checkpoint fingerprint: either mode may resume a
     #: checkpoint the other wrote.
     timing: str = "incremental"
+    #: "reference" walks the object graph; "vector" times full passes
+    #: through the compiled array kernel (:mod:`repro.sta.kernel`),
+    #: falling back to reference propagation for cone-limited retimes
+    #: and scenarios that will not compile. Like ``timing``, the engine
+    #: produces identical reports and is excluded from the checkpoint
+    #: fingerprint.
+    engine: str = "reference"
 
     def __post_init__(self):
         unknown = [f for f in self.fix_order if f not in FIX_ENGINES]
@@ -123,6 +131,10 @@ class ClosureConfig:
             raise ClosureError(
                 f"unknown timing mode {self.timing!r}; "
                 f"pick from {TIMING_MODES}"
+            )
+        if self.engine not in ENGINES:
+            raise ClosureError(
+                f"unknown engine {self.engine!r}; pick from {ENGINES}"
             )
 
 
@@ -357,7 +369,7 @@ class ClosureEngine:
                     if self.fault_injector is not None:
                         self.fault_injector.fire(label, attempt)
                     sta = self._build_sta()
-                    sta.report = sta.run()
+                    sta.report = self.timer_pool._full_run(sta)
                 except Exception as exc:  # noqa: BLE001 - quarantined below
                     last_error = exc
                     if attempt < self.policy.max_attempts:
@@ -439,6 +451,11 @@ class ClosureEngine:
     def _run_traced(self, config: ClosureConfig,
                     resume: bool) -> ClosureReport:
         incremental = config.timing == "incremental"
+        # The engine is a per-run choice (it lives on the config, like
+        # the timing mode), but the pool is per-engine state: point it
+        # at this run's engine so fresh builds, warm adoptions and
+        # full-mode passes all time through the same path.
+        self.timer_pool.engine = config.engine
         scenario_name = self.library.name
         run_key = (
             self._run_fingerprint(config) if self.journal is not None

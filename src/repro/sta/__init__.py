@@ -12,6 +12,8 @@ A full STA stack over the netlist + library + parasitics substrates:
 - :mod:`repro.sta.pba` — path enumeration and path-based analysis (PBA)
   with path-specific slew recomputation and CPPR credit;
 - :mod:`repro.sta.si` — coupling-noise delta delays;
+- :mod:`repro.sta.kernel` — compiled array kernel timing every corner of
+  a mode in one vectorized pass, bit-compatible with the reference;
 - :mod:`repro.sta.mcmm` — multi-corner multi-mode scenario management;
 - :mod:`repro.sta.scheduler` — parallel multi-corner signoff with
   content-hash result caching;
@@ -24,6 +26,14 @@ from repro.sta.propagation import Derates
 from repro.sta.reports import TimingReport
 from repro.sta.etm import ExtractedTimingModel, extract_etm
 from repro.sta.incremental import IncrementalTimer
+from repro.sta.kernel import (
+    ENGINES,
+    CompiledKernel,
+    CornerSpec,
+    KernelCompileError,
+    compile_kernel,
+    kernel_full_run,
+)
 from repro.sta.required import instance_slacks, required_times
 from repro.sta.scheduler import (
     ScenarioResultCache,
@@ -41,6 +51,12 @@ __all__ = [
     "ExtractedTimingModel",
     "extract_etm",
     "IncrementalTimer",
+    "ENGINES",
+    "CompiledKernel",
+    "CornerSpec",
+    "KernelCompileError",
+    "compile_kernel",
+    "kernel_full_run",
     "instance_slacks",
     "required_times",
     "ScenarioResultCache",

@@ -51,6 +51,13 @@ from repro.runtime.supervisor import (
     TaskStatus,
 )
 from repro.sta.constraints import Constraints
+from repro.sta.kernel import (
+    ENGINES,
+    CornerSpec,
+    KernelCompileError,
+    compile_kernel,
+    kernel_full_run,
+)
 from repro.sta.reports import TimingReport
 
 EXECUTORS = ("serial", "thread", "process")
@@ -297,9 +304,14 @@ class ScenarioTimerPool:
     different trades; the closure loop wants the former.
     """
 
-    def __init__(self):
+    def __init__(self, engine: str = "reference"):
         from repro.sta.incremental import IncrementalTimer  # noqa: F401
 
+        if engine not in ENGINES:
+            raise TimingError(
+                f"unknown engine {engine!r}; pick from {ENGINES}"
+            )
+        self.engine = engine
         self._timers: Dict[str, "IncrementalTimer"] = {}
         self._caches: List[ScenarioResultCache] = []
         #: Retime calls served by a warm timer's cone-limited update.
@@ -329,7 +341,7 @@ class ScenarioTimerPool:
         """Register an already-run STA as scenario ``name``'s timer."""
         from repro.sta.incremental import IncrementalTimer
 
-        timer = IncrementalTimer(sta)
+        timer = IncrementalTimer(sta, engine=self.engine)
         for cache in self._caches:
             timer.register_cache(cache)
         self._timers[name] = timer
@@ -373,7 +385,7 @@ class ScenarioTimerPool:
             with obs_tracing.span("sta_build", scenario=name):
                 sta = build()
                 if sta.prop is None or sta.report is None:
-                    sta.report = sta.run()
+                    sta.report = self._full_run(sta)
             self.adopt(name, sta)
             self.builds += 1
             return sta.report
@@ -390,6 +402,17 @@ class ScenarioTimerPool:
             return timer.full_update()
         self.incremental_retimes += 1
         return report
+
+    def _full_run(self, sta) -> TimingReport:
+        """Run a fresh STA through the pool's engine (vector falls back
+        to the reference run when the scenario will not compile)."""
+        if self.engine == "vector":
+            try:
+                report, _ = kernel_full_run(sta)
+                return report
+            except KernelCompileError:
+                obs_metrics.inc("kernel.fallbacks")
+        return sta.run()
 
 
 # ---------------------------------------------------------------------- #
@@ -624,6 +647,11 @@ class SignoffScheduler:
         fault_injector: a :class:`repro.testing.faults.FaultInjector`
             firing planned faults inside workers (chaos testing).
         allow_fallback: permit executor downgrade on pool death.
+        engine: "reference" walks the object graph per scenario (the
+            oracle); "vector" batches all scenarios of a mode through
+            one compiled :class:`~repro.sta.kernel.CompiledKernel`.
+            Fault-injection runs always use the reference path — the
+            supervisor owns retry/quarantine semantics there.
     """
 
     def __init__(
@@ -638,6 +666,7 @@ class SignoffScheduler:
         keep_going: bool = True,
         fault_injector=None,
         allow_fallback: bool = True,
+        engine: str = "reference",
     ):
         if not scenarios:
             raise TimingError("signoff needs at least one scenario")
@@ -650,6 +679,10 @@ class SignoffScheduler:
             raise TimingError(
                 f"unknown executor {executor!r}; pick from {EXECUTORS}"
             )
+        if engine not in ENGINES:
+            raise TimingError(
+                f"unknown engine {engine!r}; pick from {ENGINES}"
+            )
         self.scenarios = list(scenarios)
         self.stack = stack or default_stack()
         self.jobs = jobs
@@ -660,6 +693,7 @@ class SignoffScheduler:
         self.keep_going = keep_going
         self.fault_injector = fault_injector
         self.allow_fallback = allow_fallback
+        self.engine = engine
         #: Scenario STA evaluations actually performed (cache misses);
         #: the call counter the regression tests assert against.
         self.evaluations = 0
@@ -751,8 +785,78 @@ class SignoffScheduler:
                         continue
                 todo.append((scenario, fp))
 
-        isolate = self._needs_isolation(len(todo))
         events: List[str] = []
+        recomputed: List[str] = []
+        degraded: List[str] = []
+
+        def absorb(scenario, fp, report, status, attempts=1,
+                   error_chain=()):
+            """Record one freshly computed scenario (either engine)."""
+            key = (design.name, design_fp, fp)
+            reports[scenario.name] = report
+            recomputed.append(scenario.name)
+            records[scenario.name] = ScenarioRecord(
+                name=scenario.name, status=status, attempts=attempts,
+                fingerprint=fp, error_chain=list(error_chain),
+            )
+            if self.cache is not None:
+                self.cache.store(*key, report)
+                self.cache.stats.evaluations += 1
+            if self.journal is not None:
+                was_available = self.journal.available
+                if not self.journal.record("scenario", key, report) \
+                        and was_available:
+                    # First journal IO failure: the run continues, but
+                    # the checkpoint is gone — surface it, loudly.
+                    events.append(
+                        "checkpoint unavailable: "
+                        f"{self.journal.last_error or 'journal IO error'}"
+                    )
+                    obs_metrics.inc("runtime.journal.io_errors")
+
+        ref_todo = list(todo)
+        if self.engine == "vector" and self.fault_injector is None \
+                and todo:
+            # Batch whole modes: scenarios sharing a constraint set
+            # become corner lanes of one compiled kernel. A mode that
+            # fails to compile (e.g. libraries with incongruent arc
+            # sets) falls back to the reference fan-out below.
+            ref_todo = []
+            modes: "OrderedDict[str, list]" = OrderedDict()
+            for scenario, fp in todo:
+                modes.setdefault(
+                    constraints_fingerprint(scenario.constraints), []
+                ).append((scenario, fp))
+            with obs_tracing.span("vector_signoff", modes=len(modes),
+                                  scenarios=len(todo)):
+                for group in modes.values():
+                    try:
+                        specs = [CornerSpec.from_scenario(s, self.stack)
+                                 for s, _ in group]
+                        kernel = compile_kernel(
+                            design, group[0][0].constraints, specs,
+                            stack=self.stack,
+                        )
+                        kernel.run()
+                    except KernelCompileError as exc:
+                        obs_metrics.inc("kernel.fallbacks")
+                        events.append(
+                            "vector engine fell back to reference for "
+                            f"{len(group)} scenario(s): {exc}"
+                        )
+                        ref_todo.extend(group)
+                        continue
+                    for ci, (scenario, fp) in enumerate(group):
+                        report = kernel.report(ci)
+                        report.scenario = scenario.name
+                        with obs_tracing.span("scenario",
+                                              scenario=scenario.name,
+                                              source="vector"):
+                            pass
+                        self.attempts += 1
+                        absorb(scenario, fp, report, ScenarioStatus.OK)
+
+        isolate = self._needs_isolation(len(ref_todo))
         supervisor = SupervisedExecutor(
             jobs=self.jobs,
             executor=self.executor,
@@ -760,7 +864,7 @@ class SignoffScheduler:
             allow_fallback=self.allow_fallback,
             on_event=events.append,
         )
-        with obs_tracing.span("scenario_fanout", count=len(todo),
+        with obs_tracing.span("scenario_fanout", count=len(ref_todo),
                               isolated=isolate) as fanout_span:
             executions = supervisor.run([
                 SupervisedTask(
@@ -769,15 +873,12 @@ class SignoffScheduler:
                     payload=(scenario, design, self.stack, isolate,
                              self.fault_injector, tracer is not None),
                 )
-                for scenario, _ in todo
+                for scenario, _ in ref_todo
             ])
         self.evaluations += len(todo)
 
-        recomputed: List[str] = []
-        degraded: List[str] = []
-        for (scenario, fp), execution in zip(todo, executions):
+        for (scenario, fp), execution in zip(ref_todo, executions):
             self.attempts += execution.attempts
-            key = (design.name, design_fp, fp)
             if execution.status is TaskStatus.DEGRADED:
                 degraded.append(scenario.name)
                 records[scenario.name] = ScenarioRecord(
@@ -798,30 +899,12 @@ class SignoffScheduler:
                     tracer.ingest(report.spans,
                                   parent_id=fanout_span.span_id)
                 report = report.value
-            reports[scenario.name] = report
-            recomputed.append(scenario.name)
             status = (ScenarioStatus.OK
                       if execution.status is TaskStatus.OK
                       else ScenarioStatus.RETRIED)
-            records[scenario.name] = ScenarioRecord(
-                name=scenario.name, status=status,
-                attempts=execution.attempts, fingerprint=fp,
-                error_chain=list(execution.error_chain),
-            )
-            if self.cache is not None:
-                self.cache.store(*key, report)
-                self.cache.stats.evaluations += 1
-            if self.journal is not None:
-                was_available = self.journal.available
-                if not self.journal.record("scenario", key, report) \
-                        and was_available:
-                    # First journal IO failure: the run continues, but
-                    # the checkpoint is gone — surface it, loudly.
-                    events.append(
-                        "checkpoint unavailable: "
-                        f"{self.journal.last_error or 'journal IO error'}"
-                    )
-                    obs_metrics.inc("runtime.journal.io_errors")
+            absorb(scenario, fp, report, status,
+                   attempts=execution.attempts,
+                   error_chain=execution.error_chain)
 
         obs_metrics.inc("signoff.passes")
         obs_metrics.inc("signoff.cache.hits", len(hits))

@@ -325,6 +325,11 @@ class TestValidation:
         with pytest.raises(TimingError):
             SignoffScheduler([Scenario("a", lib, c)], executor="mpi")
 
+    def test_engine_validated(self, lib):
+        c = Constraints.single_clock(500.0)
+        with pytest.raises(TimingError):
+            SignoffScheduler([Scenario("a", lib, c)], engine="warp")
+
 
 class TestMonteCarloBatching:
     def test_chain_mc_bit_identical_across_jobs(self):
@@ -485,3 +490,80 @@ class TestScenarioTimerPool:
         assert pool.get("tt") is None
         pool.retime("tt", build=build)
         assert pool.builds == 2
+
+
+class TestEngineCacheParity:
+    """The content-hash cache must be engine-blind: kernel-produced
+    reports hit and miss exactly like reference reports, and a report
+    computed by either engine satisfies the other's lookups."""
+
+    @pytest.mark.parametrize("engine", ["reference", "vector"])
+    def test_warm_run_skips_recomputation(self, lib, lib_ss, engine):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        cache = ScenarioResultCache(verify=True)
+        scheduler = SignoffScheduler(scenarios, cache=cache, engine=engine)
+
+        cold = scheduler.signoff(design)
+        assert scheduler.evaluations == len(scenarios)
+        assert sorted(cold.recomputed) == sorted(s.name for s in scenarios)
+
+        warm = scheduler.signoff(design)
+        assert scheduler.evaluations == len(scenarios)
+        assert warm.recomputed == []
+        assert warm.cache_hits == [s.name for s in scenarios]
+        assert slack_text(warm) == slack_text(cold)
+        assert cache.stats.evaluations == len(scenarios)
+
+    @pytest.mark.parametrize("engine", ["reference", "vector"])
+    def test_netlist_change_misses(self, lib, lib_ss, engine):
+        scenarios = make_scenarios(lib, lib_ss)
+        cache = ScenarioResultCache()
+        scheduler = SignoffScheduler(scenarios, cache=cache, engine=engine)
+        scheduler.signoff(make_design(seed=9))
+        scheduler.signoff(make_design(seed=10))
+        assert scheduler.evaluations == 2 * len(scenarios)
+
+    @pytest.mark.parametrize("first,second", [
+        ("reference", "vector"), ("vector", "reference"),
+    ])
+    def test_cross_engine_cache_identity(self, lib, lib_ss, first, second):
+        scenarios = make_scenarios(lib, lib_ss)
+        design = make_design()
+        cache = ScenarioResultCache(verify=True)
+        SignoffScheduler(scenarios, cache=cache,
+                         engine=first).signoff(design)
+        other = SignoffScheduler(scenarios, cache=cache, engine=second)
+        outcome = other.signoff(design)
+        # Same design + scenarios -> same fingerprints -> all hits,
+        # regardless of which engine populated the cache.
+        assert other.evaluations == 0
+        assert outcome.recomputed == []
+        assert outcome.cache_hits == [s.name for s in scenarios]
+
+    def test_vector_reports_match_reference(self, lib, lib_ss):
+        scenarios = make_scenarios(lib, lib_ss)
+        ref = SignoffScheduler(scenarios).signoff(make_design())
+        vec = SignoffScheduler(scenarios,
+                               engine="vector").signoff(make_design())
+        assert slack_text(vec) == slack_text(ref)
+        for name in ref.reports:
+            assert vec.reports[name] == ref.reports[name]
+            assert vec.reports[name].scenario == name
+
+    def test_fault_injection_forces_reference_path(self, lib, lib_ss):
+        from repro.testing import FaultInjector, FaultPlan
+
+        scenarios = make_scenarios(lib, lib_ss)
+        names = [s.name for s in scenarios]
+        injector = FaultInjector(FaultPlan.seeded(
+            1, names, crash_rate=0.0, hang_rate=0.0, persistent_rate=0.0,
+        ))
+        outcome = SignoffScheduler(
+            scenarios, engine="vector", fault_injector=injector,
+        ).signoff(make_design())
+        # The vector batch is bypassed under fault injection (the
+        # supervisor owns retry/quarantine), yet results still land.
+        assert sorted(outcome.recomputed) == sorted(names)
+        ref = SignoffScheduler(scenarios).signoff(make_design())
+        assert slack_text(outcome) == slack_text(ref)

@@ -132,6 +132,49 @@ class TestJobsValidation:
         assert "--jobs must be a positive integer (got -3)" in captured.err
 
 
+class TestEngineSelection:
+    def test_unknown_engine_rejected_with_exit_1(self, capsys):
+        # Same contract as the --jobs guard: exit 1 with the valid
+        # choices listed, not argparse's usage-error 2.
+        rc = main(["signoff", "--design", "tiny", "--engine", "warp"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "unknown engine 'warp'" in captured.err
+        assert "reference" in captured.err
+        assert "vector" in captured.err
+        assert captured.out == ""  # rejected before any work ran
+
+    @staticmethod
+    def _stable_lines(text):
+        # Everything except the wall-time footer is deterministic.
+        return [l for l in text.splitlines() if not l.startswith("jobs:")]
+
+    def test_vector_engine_output_matches_reference(self, capsys):
+        rc_ref = main(["signoff", "--design", "tiny", "--period", "800",
+                       "--no-validate"])
+        ref_out = capsys.readouterr().out
+        rc_vec = main(["signoff", "--design", "tiny", "--period", "800",
+                       "--no-validate", "--engine", "vector"])
+        vec_out = capsys.readouterr().out
+        assert rc_vec == rc_ref
+        assert self._stable_lines(vec_out) == self._stable_lines(ref_out)
+
+    def test_vector_signoff_trace_shows_kernel_spans(self, tmp_path,
+                                                     capsys):
+        import json
+
+        trace = tmp_path / "signoff.trace.json"
+        rc = main([
+            "signoff", "--design", "tiny", "--period", "800",
+            "--no-validate", "--engine", "vector", "--trace", str(trace),
+        ])
+        assert rc in (0, 1)
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"signoff", "vector_signoff", "kernel_compile",
+                "kernel_batch", "scenario"} <= names
+
+
 class TestObservability:
     def test_closure_trace_and_metrics_files(self, tmp_path, capsys):
         import json
