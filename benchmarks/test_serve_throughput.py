@@ -1,0 +1,207 @@
+"""Throughput and backpressure envelope of the signoff daemon.
+
+Two phases of the serving story, each recorded as a table:
+
+- **Sustained** — cache-hot timing queries from concurrent clients
+  against a healthy daemon: requests/second and latency percentiles.
+  This is the regime the daemon exists for (the "ten-minute what-if"
+  of the paper's closure loop shrunk to a socket roundtrip).
+- **Overload** — a deliberately starved daemon (one slowed worker, a
+  four-deep admission queue) flooded with pipelined requests: every
+  request must come back answered, either served or shed with the
+  structured retryable ``E_OVERLOADED``, and the shed rate is the
+  recorded number. Backpressure that loses or hangs requests would
+  fail the assertions, not just skew the table.
+"""
+
+import socket
+import statistics
+import threading
+import time
+
+from conftest import once
+
+from repro.netlist.generators import random_logic
+from repro.serve import DaemonConfig, TimingClient, TimingDaemon, protocol
+from repro.sta import Constraints
+from repro.sta.mcmm import Scenario
+from repro.testing import Fault, FaultInjector, FaultPlan
+
+SUSTAIN_CLIENTS = 8
+SUSTAIN_SECONDS = 2.0
+FLOOD_CLIENTS = 6
+FLOOD_PIPELINE = 10
+
+
+def _setup(lib, lib_factory):
+    constraints = Constraints.single_clock(520.0)
+    constraints.input_delays = {f"in{i}": 60.0 for i in range(8)}
+    design = random_logic(n_inputs=8, n_outputs=8, n_gates=40,
+                          n_levels=4, seed=9)
+    scenarios = [
+        Scenario("tt_typ", lib, constraints),
+        Scenario("ss_cw", lib_factory("ss", 0.72, 125.0), constraints,
+                 beol_corner_name="cw", temp_c=125.0),
+    ]
+    return design, scenarios
+
+
+def _sustained(design, scenarios):
+    daemon = TimingDaemon(
+        design, scenarios,
+        config=DaemonConfig(workers=4, queue_limit=64),
+    )
+    port = daemon.start()
+    try:
+        with TimingClient("127.0.0.1", port) as client:
+            client.request("timing")  # fill the result cache
+        latencies_s, lock = [], threading.Lock()
+        t_end = time.perf_counter() + SUSTAIN_SECONDS
+
+        def pump():
+            mine = []
+            with TimingClient("127.0.0.1", port) as client:
+                while time.perf_counter() < t_end:
+                    t0 = time.perf_counter()
+                    result = client.request("timing")
+                    mine.append(time.perf_counter() - t0)
+                    assert set(result["sources"].values()) == {"cache"}
+            with lock:
+                latencies_s.extend(mine)
+
+        threads = [threading.Thread(target=pump)
+                   for _ in range(SUSTAIN_CLIENTS)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        elapsed = time.perf_counter() - t0
+        stats = daemon.admission.stats()
+        return {
+            "requests": len(latencies_s),
+            "elapsed_s": elapsed,
+            "rps": len(latencies_s) / elapsed,
+            "p50_ms": statistics.median(latencies_s) * 1e3,
+            "p95_ms": sorted(latencies_s)[
+                int(0.95 * (len(latencies_s) - 1))] * 1e3,
+            "shed": stats["shed"],
+        }
+    finally:
+        daemon.stop()
+
+
+def _flood_one(port, count):
+    """Pipeline ``count`` timing requests on one raw connection."""
+    frames = b"".join(
+        protocol.encode({"v": protocol.PROTOCOL_VERSION, "id": f"f-{i}",
+                         "op": "timing", "params": {}})
+        for i in range(count)
+    )
+    outcomes = []
+    with socket.create_connection(("127.0.0.1", port), timeout=60.0) as s:
+        s.sendall(frames)
+        buffer = b""
+        while len(outcomes) < count:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                response = protocol.decode_line(line)
+                if response.get("ok"):
+                    outcomes.append("ok")
+                else:
+                    error = response["error"]
+                    outcomes.append(error["code"]
+                                    if error.get("retryable")
+                                    else f"!{error['code']}")
+    return outcomes
+
+
+def _overload(design, scenarios):
+    # One worker that dawdles 50 ms per scenario, a four-deep queue:
+    # the flood must overrun admission, never the daemon.
+    injector = FaultInjector(FaultPlan.of(
+        Fault("hang", task="*", seconds=0.05)
+    ))
+    daemon = TimingDaemon(
+        design, scenarios,
+        config=DaemonConfig(workers=1, queue_limit=4),
+        fault_injector=injector,
+    )
+    port = daemon.start()
+    try:
+        results, lock = [], threading.Lock()
+
+        def flood():
+            outcomes = _flood_one(port, FLOOD_PIPELINE)
+            with lock:
+                results.extend(outcomes)
+
+        threads = [threading.Thread(target=flood)
+                   for _ in range(FLOOD_CLIENTS)]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - t0
+        stats = daemon.admission.stats()
+        return {
+            "sent": FLOOD_CLIENTS * FLOOD_PIPELINE,
+            "answered": len(results),
+            "ok": results.count("ok"),
+            "shed": results.count("E_OVERLOADED"),
+            "other": [r for r in results
+                      if r not in ("ok", "E_OVERLOADED")],
+            "elapsed_s": elapsed,
+            "admission": stats,
+        }
+    finally:
+        daemon.stop()
+
+
+def test_serve_throughput_and_shed_rate(benchmark, lib, lib_factory,
+                                        record_table):
+    def run():
+        design, scenarios = _setup(lib, lib_factory)
+        return (_sustained(design, scenarios),
+                _overload(design, scenarios))
+
+    sustained, overload = once(benchmark, run)
+
+    shed_rate = overload["shed"] / overload["sent"]
+    lines = [
+        "workload: 40-gate block, 2 scenarios, cache-hot timing queries",
+        "",
+        f"sustained ({SUSTAIN_CLIENTS} clients, {SUSTAIN_SECONDS:.0f} s, "
+        "workers=4, queue=64):",
+        f"  requests        {sustained['requests']:>8}",
+        f"  throughput      {sustained['rps']:>8.0f} req/s",
+        f"  latency p50     {sustained['p50_ms']:>8.2f} ms",
+        f"  latency p95     {sustained['p95_ms']:>8.2f} ms",
+        f"  shed            {sustained['shed']:>8}",
+        "",
+        f"overload ({FLOOD_CLIENTS} clients x {FLOOD_PIPELINE} pipelined, "
+        "workers=1 slowed 50 ms/scenario, queue=4):",
+        f"  sent            {overload['sent']:>8}",
+        f"  served ok       {overload['ok']:>8}",
+        f"  shed            {overload['shed']:>8}  "
+        f"({shed_rate:.0%} shed rate)",
+        f"  wall            {overload['elapsed_s']:>8.2f} s",
+    ]
+    record_table("serve_throughput", "\n".join(lines))
+
+    # Sustained phase: every client pumped cache hits, nothing was shed.
+    assert sustained["requests"] > 0
+    assert sustained["shed"] == 0
+    # Overload phase: every single request came back — served or shed
+    # with the structured retryable error, no third outcome, no hang.
+    assert overload["answered"] == overload["sent"]
+    assert overload["ok"] + overload["shed"] == overload["sent"]
+    assert overload["other"] == []
+    assert overload["ok"] >= 1
+    assert overload["shed"] >= 1
+    assert overload["admission"]["shed"] == overload["shed"]

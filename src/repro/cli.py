@@ -362,6 +362,134 @@ def _cmd_corners(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the timing daemon in the foreground until SIGTERM/SIGINT."""
+    import json
+    import signal
+
+    from repro.obs import export, metrics, tracing
+    from repro.runtime import RunJournal
+    from repro.serve import DaemonConfig, TimingDaemon
+    from repro.sta.mcmm import standard_scenario_set
+
+    design, _, constraints = _make_setup(args)
+
+    def factory(process: str, vdd: float, temp: float):
+        return make_library(
+            LibraryCondition(process=process, vdd=vdd, temp_c=temp)
+        )
+
+    scenario_set = standard_scenario_set(constraints, factory)
+    scenarios = scenario_set.scenarios
+    if args.corners:
+        scenarios = scenarios[: args.corners]
+
+    # Unlike batch signoff, an existing journal is *kept*: the journal
+    # is the daemon's durable state, and restarting on it is exactly the
+    # warm-restart path (cache prewarm + session ledger replay).
+    journal = RunJournal(args.checkpoint) if args.checkpoint else None
+
+    fault_injector = None
+    if args.inject_faults is not None:
+        from repro.testing import FaultInjector, FaultPlan
+
+        fault_injector = FaultInjector(FaultPlan.seeded(
+            args.inject_faults,
+            [s.name for s in scenarios],
+            crash_rate=0.15, hang_rate=0.05, persistent_rate=0.1,
+            hang_seconds=(args.timeout or 0.2) * 2,
+            kernel_rate=0.15,
+        ))
+
+    daemon = TimingDaemon(
+        design, scenarios, stack=scenario_set.stack,
+        config=DaemonConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            queue_limit=args.queue_limit, retries=args.retries,
+            timeout_s=args.timeout, engine=args.engine,
+            session_limit=args.session_limit,
+        ),
+        journal=journal,
+        fault_injector=fault_injector,
+    )
+
+    # Tracing/metrics are installed as *process defaults* (not the
+    # thread-local _obs_session) so daemon worker threads record too.
+    tracer = tracing.Tracer() if args.trace else None
+    registry = metrics.MetricsRegistry() if args.metrics else None
+    if tracer is not None:
+        tracing.set_default_tracer(tracer)
+    if registry is not None:
+        metrics.set_default_registry(registry)
+
+    port = daemon.start()
+    if args.port_file:
+        # Written atomically so pollers never observe a partial file.
+        tmp = f"{args.port_file}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+        os.replace(tmp, args.port_file)
+    print(json.dumps({
+        "serving": design.name, "host": args.host, "port": port,
+        "scenarios": [s.name for s in scenarios],
+        "engine": args.engine, "workers": args.workers,
+        "queue_limit": args.queue_limit,
+    }), flush=True)
+
+    def _terminate(signum, frame):
+        daemon.stop()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    finally:
+        if tracer is not None:
+            tracing.set_default_tracer(None)
+            export.write_chrome_trace(args.trace, tracer.spans())
+            print(f"trace: wrote {len(tracer)} span(s) to {args.trace}",
+                  file=sys.stderr)
+        if registry is not None:
+            metrics.set_default_registry(None)
+            registry.write_json(args.metrics)
+            print(f"metrics: wrote snapshot to {args.metrics}",
+                  file=sys.stderr)
+    return EXIT_CLEAN
+
+
+def _cmd_query(args) -> int:
+    """One client request against a running daemon; JSON on stdout."""
+    import json
+
+    from repro.errors import ServeError
+    from repro.runtime import RetryPolicy
+    from repro.serve import TimingClient
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    policy = (RetryPolicy(retries=args.retries, backoff_s=0.2)
+              if args.retries > 0 else None)
+    client = TimingClient(args.host, args.port, timeout_s=args.timeout)
+    try:
+        with client:
+            result = client.call(
+                args.op, params, session=args.session,
+                deadline_s=args.deadline, policy=policy,
+            )
+    except ServeError as exc:
+        # Retryable failures (shed, deadline, daemon restart) exit 3 so
+        # a wrapping script can back off and resubmit; permanent ones
+        # (bad request, quarantined session) exit 4.
+        print(f"error: {exc.code}: {exc}", file=sys.stderr)
+        return EXIT_DEGRADED if exc.retryable else EXIT_FATAL
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return EXIT_CLEAN
+
+
 def _cmd_trace_summarize(args) -> int:
     from repro.obs.export import summarize_file
 
@@ -478,6 +606,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_cor.add_argument("--modes", type=int, default=6)
     p_cor.add_argument("--domains", type=int, default=4)
     p_cor.set_defaults(func=_cmd_corners)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the timing daemon (signoff-as-a-service)",
+    )
+    _add_design_args(p_srv)
+    _add_library_args(p_srv)
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; see --port-file)")
+    p_srv.add_argument("--port-file", metavar="PATH",
+                       help="write the bound port here (atomically) "
+                            "once listening")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    p_srv.add_argument("--queue-limit", type=int, default=64,
+                       help="admission queue depth; beyond it requests "
+                            "are shed with E_OVERLOADED")
+    p_srv.add_argument("--retries", type=int, default=1,
+                       help="retry attempts per query after a worker "
+                            "crash")
+    p_srv.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget, seconds")
+    p_srv.add_argument("--engine", default="reference",
+                       help="timing engine: 'reference' or 'vector' "
+                            "(vector degrades per scenario on kernel "
+                            "compile failure)")
+    p_srv.add_argument("--corners", type=int, default=0,
+                       help="serve only the first N standard corners "
+                            "(0 = all)")
+    p_srv.add_argument("--session-limit", type=int, default=256,
+                       help="max concurrently active sessions")
+    p_srv.add_argument("--checkpoint", metavar="PATH",
+                       help="journal scenario results and the session "
+                            "ledger to PATH; restarting on the same "
+                            "file resumes warm")
+    p_srv.add_argument("--inject-faults", type=int, metavar="SEED",
+                       default=None,
+                       help="chaos testing: seeded worker crashes/hangs "
+                            "and kernel compile failures inside query "
+                            "handlers")
+    _add_obs_args(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_qry = sub.add_parser(
+        "query", help="send one request to a running timing daemon"
+    )
+    p_qry.add_argument("--host", default="127.0.0.1")
+    p_qry.add_argument("--port", type=int, required=True)
+    p_qry.add_argument("--op", required=True,
+                       help="protocol op (ping, stats, open_session, "
+                            "timing, signoff, paths, histogram, "
+                            "apply_eco, discard, close_session, "
+                            "shutdown)")
+    p_qry.add_argument("--params", metavar="JSON", default=None,
+                       help="op parameters as a JSON object")
+    p_qry.add_argument("--session", default=None,
+                       help="session id (from open_session)")
+    p_qry.add_argument("--deadline", type=float, default=None,
+                       help="server-side deadline, seconds from "
+                            "admission")
+    p_qry.add_argument("--retries", type=int, default=0,
+                       help="client-side retries of retryable errors "
+                            "(shed, deadline, daemon restart)")
+    p_qry.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout, seconds")
+    p_qry.set_defaults(func=_cmd_query)
 
     p_tr = sub.add_parser("trace", help="inspect exported trace files")
     tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)

@@ -369,7 +369,7 @@ class ClosureEngine:
                     if self.fault_injector is not None:
                         self.fault_injector.fire(label, attempt)
                     sta = self._build_sta()
-                    sta.report = self.timer_pool._full_run(sta)
+                    sta.report = self.timer_pool._full_run(sta, label)
                 except Exception as exc:  # noqa: BLE001 - quarantined below
                     last_error = exc
                     if attempt < self.policy.max_attempts:

@@ -142,3 +142,83 @@ class InjectedFaultError(WorkerCrashError):
 
 class CheckpointError(ReproError):
     """Raised by the journal-based checkpoint/resume layer."""
+
+
+# ---------------------------------------------------------------------- #
+# signoff-as-a-service (:mod:`repro.serve`)
+
+
+class ServeError(ReproError):
+    """Base class for timing-daemon failures (:mod:`repro.serve`).
+
+    Every serve error carries a stable wire ``code`` (``E_*``) and a
+    ``retryable`` flag so clients can triage without string matching:
+    retryable errors (shed under load, missed deadline, daemon gone)
+    are safe to resubmit; non-retryable ones (bad request, quarantined
+    session) will fail the same way again.
+    """
+
+    code = "E_INTERNAL"
+    retryable = False
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The structured error object sent on the wire."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+            "context": {k: repr(v) for k, v in sorted(self.context.items())},
+        }
+
+
+class ProtocolError(ServeError):
+    """A request line violated the NDJSON protocol (unparseable JSON,
+    missing fields, oversized frame)."""
+
+    code = "E_BAD_REQUEST"
+    retryable = False
+
+
+class AdmissionShedError(ServeError):
+    """The bounded admission queue was full and the request was shed.
+
+    This is load-shedding backpressure, not failure: the request was
+    never admitted, so resubmitting after a backoff is always safe.
+    """
+
+    code = "E_OVERLOADED"
+    retryable = True
+
+
+class DeadlineExceededError(ServeError):
+    """A request exhausted its per-request deadline (including retries)."""
+
+    code = "E_DEADLINE"
+    retryable = True
+
+
+class SessionQuarantinedError(ServeError):
+    """The target session was quarantined after a worker crash.
+
+    Not retryable on the *same* session — its overlay state is suspect —
+    but the daemon stays up and a fresh session works.
+    """
+
+    code = "E_QUARANTINED"
+    retryable = False
+
+
+class SessionNotFoundError(ServeError):
+    """The request named a session the daemon does not know."""
+
+    code = "E_NO_SESSION"
+    retryable = False
+
+
+class DaemonUnavailableError(ServeError):
+    """Client-side transport failure: connection refused, reset, EOF or
+    socket timeout. The daemon may have been killed mid-request; the
+    request is safe to resubmit once it is back."""
+
+    code = "E_UNAVAILABLE"
+    retryable = True

@@ -152,6 +152,14 @@ class TraceSummary:
     phases: List[PhaseStat]
     span_count: int
     wall_s: float  # earliest start to latest end across all spans
+    #: Scenarios that degraded from the vector engine to the reference
+    #: path (``kernel_fallback`` span events), in event order with
+    #: duplicates collapsed.
+    degraded_scenarios: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.degraded_scenarios is None:
+            self.degraded_scenarios = []
 
     def phase(self, name: str) -> Optional[PhaseStat]:
         for stat in self.phases:
@@ -176,6 +184,11 @@ class TraceSummary:
             f"{len(self.phases)} phase(s), {self.span_count} span(s), "
             f"{self.wall_s:.3f} s wall"
         )
+        if self.degraded_scenarios:
+            lines.append(
+                "kernel fallbacks (vector -> reference): "
+                + ", ".join(self.degraded_scenarios)
+            )
         return "\n".join(lines)
 
 
@@ -195,6 +208,7 @@ def summarize(events: Iterable[Dict[str, Any]]) -> TraceSummary:
                 child_dur_us.get(parent, 0.0) + float(event.get("dur", 0.0))
             )
     stats: Dict[str, PhaseStat] = {}
+    degraded: List[str] = []
     t_min, t_max = float("inf"), float("-inf")
     for event in events:
         name = event.get("name", "?")
@@ -207,11 +221,16 @@ def summarize(events: Iterable[Dict[str, Any]]) -> TraceSummary:
         stat.self_s += max(0.0, dur_us - child_dur_us.get(span_id, 0.0)) / 1e6
         t_min = min(t_min, ts_us)
         t_max = max(t_max, ts_us + dur_us)
+        if name == "kernel_fallback":
+            scenario = (event.get("args") or {}).get("scenario", "?")
+            if scenario not in degraded:
+                degraded.append(scenario)
     ordered = sorted(stats.values(), key=lambda s: (-s.self_s, s.name))
     return TraceSummary(
         phases=ordered,
         span_count=len(events),
         wall_s=(t_max - t_min) / 1e6 if events else 0.0,
+        degraded_scenarios=degraded,
     )
 
 

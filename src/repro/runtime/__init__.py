@@ -20,6 +20,7 @@ from repro.runtime.supervisor import (
     SupervisedTask,
     TaskExecution,
     TaskStatus,
+    supervised_call,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "SupervisedTask",
     "TaskExecution",
     "TaskStatus",
+    "supervised_call",
 ]

@@ -163,6 +163,63 @@ def _call_in_thread(fn, payload, attempt, timeout_s):
     return box["result"]
 
 
+def supervised_call(
+    fn: Callable[[Any, int], Any],
+    policy: RetryPolicy,
+    name: str = "task",
+    sleep: Callable[[float], None] = time.sleep,
+    on_event: Optional[Callable[[str], None]] = None,
+):
+    """Run one ``fn(payload=None, attempt)`` under retry/timeout supervision.
+
+    The single-task, in-process counterpart of :class:`SupervisedExecutor`
+    — used where a caller (e.g. the serving daemon handling one request)
+    needs the same semantics without batch fan-out: each attempt gets
+    ``policy.timeout_s`` of wall clock (a timed-out attempt is abandoned,
+    exactly like a pool worker), failed attempts retry with backoff, and
+    an exhausted budget raises :class:`~repro.errors.TaskDegradedError`
+    carrying the error chain. The *caller* must ensure ``fn`` operates on
+    state that tolerates an abandoned attempt still running (the daemon
+    serializes per-session work for exactly this reason).
+    """
+    error_chain: List[str] = []
+    last: Optional[Exception] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            if policy.timeout_s is not None:
+                return _call_in_thread(fn, None, attempt, policy.timeout_s)
+            return fn(None, attempt)
+        except Exception as exc:  # noqa: BLE001 - chained below
+            if not isinstance(exc, ExecutionError):
+                exc = WorkerCrashError(
+                    f"worker crashed: {type(exc).__name__}: {exc}"
+                )
+            exc.with_context(task=name, attempt=attempt)
+            last = exc
+            error_chain.append(
+                f"attempt {attempt}: {type(exc).__name__}: {exc.message}"
+            )
+            if isinstance(exc, WorkerTimeoutError):
+                obs_metrics.inc("supervisor.timeouts")
+            if attempt >= policy.max_attempts:
+                break
+            if on_event is not None:
+                on_event(f"retry {name}: attempt {attempt} failed "
+                         f"({type(exc).__name__})")
+            obs_metrics.inc("supervisor.retries")
+            sleep(policy.delay(attempt))
+    obs_metrics.inc("supervisor.quarantines")
+    degraded = TaskDegradedError(
+        f"quarantined after {policy.max_attempts} attempt(s): "
+        f"{last.message if last is not None else 'unknown failure'}",
+        task=name,
+        attempts=policy.max_attempts,
+        cause=type(last).__name__ if last is not None else "unknown",
+    )
+    degraded.error_chain = error_chain  # forensic chain for reporting
+    raise degraded
+
+
 class SupervisedExecutor:
     """Runs task batches under supervision (see module docstring).
 

@@ -1,0 +1,40 @@
+"""Signoff-as-a-service: the fault-tolerant timing daemon.
+
+``repro.serve`` turns the batch signoff stack into a long-lived service:
+load and bind a design once, then answer streams of timing queries (ECO
+what-ifs, path reports, slack histograms, full re-signoff) over a
+newline-delimited JSON socket protocol — with bounded admission queues,
+explicit load shedding, per-session copy-on-write ECO overlays,
+supervised per-request retries/deadlines, and journal-backed warm
+restart. See :mod:`repro.serve.server` for the robustness ladder.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.client import TimingClient
+from repro.serve.overlay import EDIT_KINDS, DesignOverlay, OverlayEdit
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+)
+from repro.serve.server import SHARED_SESSION_ID, DaemonConfig, TimingDaemon
+from repro.serve.session import Session, SessionManager, SessionState
+
+__all__ = [
+    "AdmissionQueue",
+    "CONTROL_OPS",
+    "DaemonConfig",
+    "DesignOverlay",
+    "EDIT_KINDS",
+    "MAX_LINE_BYTES",
+    "OverlayEdit",
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "SHARED_SESSION_ID",
+    "Session",
+    "SessionManager",
+    "SessionState",
+    "TimingClient",
+    "TimingDaemon",
+]

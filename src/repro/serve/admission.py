@@ -1,0 +1,113 @@
+"""Bounded admission queue with explicit load-shed backpressure.
+
+The daemon's memory is bounded by construction: a timing request either
+gets one of ``depth_limit`` queue slots or is *shed* immediately with a
+structured ``E_OVERLOADED`` response. Nothing ever blocks an accept
+loop, nothing buffers unboundedly, and shedding is a first-class
+response — clients see the queue depth and retry with backoff instead of
+timing out against a silently drowning server.
+
+Metrics: ``serve.queue.depth`` (gauge), ``serve.admitted`` /
+``serve.shed`` / ``serve.completed`` (counters) and
+``serve.queue.wait_ms`` (histogram of time spent queued) feed the
+``stats`` op and the observability registry.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+from repro.errors import AdmissionShedError, TimingError
+from repro.obs import metrics as obs_metrics
+
+
+class AdmissionQueue:
+    """A bounded FIFO of admitted requests (see module docstring)."""
+
+    def __init__(self, depth_limit: int = 64):
+        if depth_limit < 1:
+            raise TimingError("admission queue needs at least one slot")
+        self.depth_limit = depth_limit
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items: "collections.deque[Tuple[float, Any]]" = \
+            collections.deque()
+        self._closed = False
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def offer(self, item: Any) -> None:
+        """Admit ``item`` or raise :class:`AdmissionShedError` (full).
+
+        Never blocks: backpressure is explicit shedding, not queueing
+        the caller. Raises immediately when the queue is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise AdmissionShedError(
+                    "daemon is shutting down", queue_depth=len(self._items)
+                )
+            if len(self._items) >= self.depth_limit:
+                self.shed += 1
+                obs_metrics.inc("serve.shed")
+                raise AdmissionShedError(
+                    "admission queue is full; retry with backoff",
+                    queue_depth=len(self._items),
+                    depth_limit=self.depth_limit,
+                )
+            self._items.append((time.monotonic(), item))
+            self.admitted += 1
+            obs_metrics.inc("serve.admitted")
+            obs_metrics.set_gauge("serve.queue.depth", len(self._items))
+            self._ready.notify()
+
+    def take(self, timeout_s: float = 0.5) -> Optional[Any]:
+        """Pop the oldest admitted item; None on timeout or closed-empty."""
+        with self._lock:
+            deadline = time.monotonic() + timeout_s
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._ready.wait(remaining)
+            queued_s, item = self._items.popleft()
+            obs_metrics.set_gauge("serve.queue.depth", len(self._items))
+            obs_metrics.observe(
+                "serve.queue.wait_ms", (time.monotonic() - queued_s) * 1e3
+            )
+            return item
+
+    def done(self) -> None:
+        """Mark one taken item finished (stats bookkeeping)."""
+        with self._lock:
+            self.completed += 1
+            obs_metrics.inc("serve.completed")
+
+    def close(self) -> None:
+        """Stop admitting; wake every waiting worker."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "depth_limit": self.depth_limit,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "completed": self.completed,
+            }

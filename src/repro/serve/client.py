@@ -1,0 +1,190 @@
+"""Client for the timing daemon: transport + structured error triage.
+
+:class:`TimingClient` speaks the :mod:`repro.serve.protocol` framing
+over one TCP connection. Every failure surfaces as a structured
+:class:`~repro.errors.ServeError` with a stable code and a ``retryable``
+flag:
+
+- Daemon-reported errors are rehydrated verbatim
+  (:func:`~repro.serve.protocol.error_from_wire`): ``E_OVERLOADED`` and
+  ``E_DEADLINE`` are retryable, ``E_BAD_REQUEST`` and ``E_QUARANTINED``
+  are not.
+- Transport failures — refused connection, reset, EOF mid-response,
+  read timeout — become retryable
+  :class:`~repro.errors.DaemonUnavailableError`. A SIGKILL'd daemon
+  never corrupts the stream: JSON-lines framing means the client sees
+  either a complete response or EOF, and EOF maps here.
+
+:meth:`TimingClient.call` layers a
+:class:`~repro.runtime.supervisor.RetryPolicy` on top: retryable errors
+are retried with the policy's backoff (reconnecting as needed), which is
+how a client rides out a shed, a deadline, or a daemon restart without
+bespoke loops at every call site.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import DaemonUnavailableError, ProtocolError, ServeError
+from repro.runtime.supervisor import RetryPolicy
+from repro.serve import protocol
+
+
+class TimingClient:
+    """One connection to a :class:`~repro.serve.server.TimingDaemon`.
+
+    Args:
+        host/port: daemon address.
+        timeout_s: socket budget for connect and for each response read;
+            expiry raises retryable
+            :class:`~repro.errors.DaemonUnavailableError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ #
+    # connection management
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise DaemonUnavailableError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+        self._sock = sock
+        self._buffer = b""
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._buffer = b""
+
+    def __enter__(self) -> "TimingClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # requests
+
+    def request(self, op: str, params: Optional[Dict[str, Any]] = None,
+                session: Optional[str] = None,
+                deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """One request, one response; no automatic retries.
+
+        Raises the daemon's structured error on a failure response, or
+        retryable :class:`~repro.errors.DaemonUnavailableError` when the
+        transport dies (connection refused/reset, EOF, read timeout).
+        """
+        self.connect()
+        request_id = f"c-{self._next_id}"
+        self._next_id += 1
+        params = dict(params or {})
+        if deadline_s is not None:
+            params["deadline_s"] = deadline_s
+        message = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": request_id,
+            "op": op,
+            "params": params,
+        }
+        if session is not None:
+            message["session"] = session
+        try:
+            self._sock.settimeout(self.timeout_s)
+            self._sock.sendall(protocol.encode(message))
+            response = self._read_response(request_id)
+        except ServeError:
+            raise
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise DaemonUnavailableError(
+                f"daemon connection failed: {type(exc).__name__}: {exc}"
+            ) from None
+        if response.get("ok"):
+            return response.get("result") or {}
+        raise protocol.error_from_wire(response.get("error"))
+
+    def _read_response(self, request_id: str) -> Dict[str, Any]:
+        """Read frames until the one answering ``request_id`` arrives.
+
+        Responses to ids we are no longer waiting for (a previous
+        request that timed out client-side) are skipped, keeping the
+        stream usable after a client-side deadline.
+        """
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            while b"\n" not in self._buffer:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.close()
+                    raise DaemonUnavailableError(
+                        "timed out waiting for the daemon's response",
+                        timeout_s=self.timeout_s,
+                    )
+                self._sock.settimeout(remaining)
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    self.close()
+                    raise DaemonUnavailableError(
+                        "daemon closed the connection mid-request"
+                    )
+                self._buffer += chunk
+                if b"\n" not in self._buffer \
+                        and len(self._buffer) > protocol.MAX_LINE_BYTES:
+                    self.close()
+                    raise ProtocolError("daemon frame exceeds limit")
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            response = protocol.decode_line(line)
+            if response.get("id") in (request_id, None):
+                return response
+            # Stale response from an abandoned earlier request; skip.
+
+    def call(self, op: str, params: Optional[Dict[str, Any]] = None,
+             session: Optional[str] = None,
+             deadline_s: Optional[float] = None,
+             policy: Optional[RetryPolicy] = None,
+             sleep: Callable[[float], None] = time.sleep) -> Dict[str, Any]:
+        """:meth:`request` with policy-driven retries of retryable errors.
+
+        Sheds, deadlines, and daemon restarts (transport failures) are
+        retried with the policy's backoff, reconnecting as needed.
+        Non-retryable errors raise immediately. Without a policy this is
+        exactly :meth:`request`.
+        """
+        if policy is None:
+            return self.request(op, params, session=session,
+                                deadline_s=deadline_s)
+        last: Optional[ServeError] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self.request(op, params, session=session,
+                                    deadline_s=deadline_s)
+            except ServeError as exc:
+                if not exc.retryable or attempt >= policy.max_attempts:
+                    raise
+                last = exc
+                sleep(policy.delay(attempt))
+        raise last  # unreachable; loop always returns or raises

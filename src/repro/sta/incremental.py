@@ -208,9 +208,18 @@ class IncrementalTimer:
                     report, kernel = kernel_full_run(sta)
                     self._kernel = kernel
                     self.kernel_builds += 1
-                except KernelCompileError:
+                except KernelCompileError as exc:
                     self.kernel_fallbacks += 1
                     obs_metrics.inc("kernel.fallbacks")
+                    # Span event (not just the counter) so `trace
+                    # summarize` can name the degraded scenario.
+                    with obs_tracing.span(
+                        "kernel_fallback",
+                        scenario=sta.library.name,
+                        design=sta.design.name,
+                        error=str(exc),
+                    ):
+                        pass
                     report = sta.run()
             else:
                 report = sta.run()

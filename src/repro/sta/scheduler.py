@@ -304,7 +304,7 @@ class ScenarioTimerPool:
     different trades; the closure loop wants the former.
     """
 
-    def __init__(self, engine: str = "reference"):
+    def __init__(self, engine: str = "reference", fault_injector=None):
         from repro.sta.incremental import IncrementalTimer  # noqa: F401
 
         if engine not in ENGINES:
@@ -312,6 +312,10 @@ class ScenarioTimerPool:
                 f"unknown engine {engine!r}; pick from {ENGINES}"
             )
         self.engine = engine
+        #: Optional :class:`repro.testing.faults.FaultInjector` whose
+        #: kernel-scoped faults fire at vector-kernel compile time, so
+        #: chaos plans exercise the reference fallback on warm pools.
+        self.fault_injector = fault_injector
         self._timers: Dict[str, "IncrementalTimer"] = {}
         self._caches: List[ScenarioResultCache] = []
         #: Retime calls served by a warm timer's cone-limited update.
@@ -385,7 +389,7 @@ class ScenarioTimerPool:
             with obs_tracing.span("sta_build", scenario=name):
                 sta = build()
                 if sta.prop is None or sta.report is None:
-                    sta.report = self._full_run(sta)
+                    sta.report = self._full_run(sta, name)
             self.adopt(name, sta)
             self.builds += 1
             return sta.report
@@ -403,15 +407,20 @@ class ScenarioTimerPool:
         self.incremental_retimes += 1
         return report
 
-    def _full_run(self, sta) -> TimingReport:
+    def _full_run(self, sta, name: str) -> TimingReport:
         """Run a fresh STA through the pool's engine (vector falls back
         to the reference run when the scenario will not compile)."""
         if self.engine == "vector":
             try:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire_kernel(name)
                 report, _ = kernel_full_run(sta)
                 return report
-            except KernelCompileError:
+            except KernelCompileError as exc:
                 obs_metrics.inc("kernel.fallbacks")
+                with obs_tracing.span("kernel_fallback", scenario=name,
+                                      error=str(exc)):
+                    pass
         return sta.run()
 
 
@@ -650,8 +659,11 @@ class SignoffScheduler:
         engine: "reference" walks the object graph per scenario (the
             oracle); "vector" batches all scenarios of a mode through
             one compiled :class:`~repro.sta.kernel.CompiledKernel`.
-            Fault-injection runs always use the reference path — the
-            supervisor owns retry/quarantine semantics there.
+            Plans with worker-scoped faults (crash/hang/pool death)
+            force the reference path — the supervisor owns
+            retry/quarantine semantics there — while kernel-scoped
+            faults ride the vector path to chaos-test the
+            compile-failure fallback ladder.
     """
 
     def __init__(
@@ -815,8 +827,15 @@ class SignoffScheduler:
                     obs_metrics.inc("runtime.journal.io_errors")
 
         ref_todo = list(todo)
-        if self.engine == "vector" and self.fault_injector is None \
-                and todo:
+        # Worker-scoped faults (crash/hang/pool death) need the
+        # per-scenario fan-out where the supervisor owns retry and
+        # quarantine; kernel-scoped faults deliberately ride the vector
+        # path so chaos plans exercise the compile-failure fallback.
+        vector_chaos_ok = (
+            self.fault_injector is None
+            or not self.fault_injector.plan.worker_faults()
+        )
+        if self.engine == "vector" and vector_chaos_ok and todo:
             # Batch whole modes: scenarios sharing a constraint set
             # become corner lanes of one compiled kernel. A mode that
             # fails to compile (e.g. libraries with incongruent arc
@@ -831,6 +850,11 @@ class SignoffScheduler:
                                   scenarios=len(todo)):
                 for group in modes.values():
                     try:
+                        if self.fault_injector is not None:
+                            for scenario, _ in group:
+                                self.fault_injector.fire_kernel(
+                                    scenario.name
+                                )
                         specs = [CornerSpec.from_scenario(s, self.stack)
                                  for s, _ in group]
                         kernel = compile_kernel(
@@ -844,6 +868,13 @@ class SignoffScheduler:
                             "vector engine fell back to reference for "
                             f"{len(group)} scenario(s): {exc}"
                         )
+                        for scenario, _ in group:
+                            with obs_tracing.span(
+                                "kernel_fallback",
+                                scenario=scenario.name,
+                                error=str(exc),
+                            ):
+                                pass
                         ref_todo.extend(group)
                         continue
                     for ci, (scenario, fp) in enumerate(group):

@@ -1,6 +1,8 @@
 """Deterministic chaos-testing utilities for the fault-tolerant runtime."""
 
 from repro.testing.faults import (
+    FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     Fault,
     FaultInjector,
     FaultPlan,
@@ -9,6 +11,8 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "Fault",
     "FaultInjector",
     "FaultPlan",

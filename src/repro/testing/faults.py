@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.errors import ExecutorBrokenError, InjectedFaultError, TimingError
 
-FAULT_KINDS = ("crash", "hang", "pool_break")
+FAULT_KINDS = ("crash", "hang", "pool_break", "kernel_compile")
+
+#: Fault kinds that fire inside a *worker* attempt (the supervisor's
+#: retry/quarantine machinery owns recovery). "kernel_compile" is the
+#: odd one out: it fires at vector-kernel compile time and exercises the
+#: reference-engine fallback ladder instead.
+WORKER_FAULT_KINDS = ("crash", "hang", "pool_break")
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,11 @@ class Fault:
                 f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}"
             )
 
+    @property
+    def scope(self) -> str:
+        """"worker" for in-attempt faults, "kernel" for compile faults."""
+        return "kernel" if self.kind == "kernel_compile" else "worker"
+
     def matches(self, task: str, attempt: int) -> bool:
         return (self.task in ("*", task)) and attempt in self.attempts
 
@@ -87,14 +98,18 @@ class FaultPlan:
         hang_rate: float = 0.0,
         persistent_rate: float = 0.0,
         hang_seconds: float = 0.25,
+        kernel_rate: float = 0.0,
     ) -> "FaultPlan":
         """Draw a reproducible plan over a task list.
 
         Each task independently gets at most one fault: a transient
-        crash (fires on attempt 1 only), a hang (attempt 1 only), or —
-        with ``persistent_rate`` — a crash on every attempt, which no
-        retry budget survives, forcing quarantine. Same seed + same task
-        list => identical plan, on any host.
+        crash (fires on attempt 1 only), a hang (attempt 1 only), with
+        ``persistent_rate`` a crash on every attempt, which no retry
+        budget survives, forcing quarantine — or, with ``kernel_rate``,
+        an injected :class:`~repro.sta.kernel.KernelCompileError` at
+        vector-kernel compile time, forcing the reference-engine
+        fallback. Same seed + same task list => identical plan, on any
+        host.
         """
         rng = np.random.RandomState(seed)
         faults: List[Fault] = []
@@ -108,13 +123,25 @@ class FaultPlan:
             elif u < persistent_rate + crash_rate + hang_rate:
                 faults.append(Fault("hang", task=name,
                                     seconds=hang_seconds))
+            elif u < (persistent_rate + crash_rate + hang_rate
+                      + kernel_rate):
+                faults.append(Fault("kernel_compile", task=name))
         return cls(faults=tuple(faults))
 
-    def for_task(self, task: str, attempt: int) -> Optional[Fault]:
+    def for_task(self, task: str, attempt: int,
+                 scope: str = "worker") -> Optional[Fault]:
         for fault in self.faults:
-            if fault.matches(task, attempt):
+            if fault.scope == scope and fault.matches(task, attempt):
                 return fault
         return None
+
+    def worker_faults(self) -> Tuple[Fault, ...]:
+        """Faults that fire inside worker attempts (crash/hang/pool)."""
+        return tuple(f for f in self.faults if f.scope == "worker")
+
+    def kernel_faults(self) -> Tuple[Fault, ...]:
+        """Faults that fire at vector-kernel compile time."""
+        return tuple(f for f in self.faults if f.scope == "kernel")
 
 
 @dataclass
@@ -129,7 +156,7 @@ class FaultInjector:
     plan: FaultPlan = field(default_factory=FaultPlan)
 
     def fire(self, task: str, attempt: int) -> None:
-        fault = self.plan.for_task(task, attempt)
+        fault = self.plan.for_task(task, attempt, scope="worker")
         if fault is None:
             return
         if fault.kind == "hang":
@@ -142,6 +169,27 @@ class FaultInjector:
             raise ExecutorBrokenError(
                 "injected worker-pool death", task=task, attempt=attempt
             )
+
+    def fire_kernel(self, task: str, attempt: int = 1) -> None:
+        """Fire a planned kernel-compile fault for ``task``, if any.
+
+        Called by vector-engine compile sites (the signoff scheduler's
+        mode batching, the warm timer pool's full runs) so chaos plans
+        exercise the reference-engine fallback ladder — previously
+        injected runs always forced the reference engine, leaving the
+        fallback path untested under chaos. Raises
+        :class:`~repro.sta.kernel.KernelCompileError` exactly like a
+        real incongruent-library refusal, so production handling (not a
+        test-only path) absorbs it.
+        """
+        fault = self.plan.for_task(task, attempt, scope="kernel")
+        if fault is None:
+            return
+        from repro.sta.kernel import KernelCompileError
+
+        raise KernelCompileError(
+            "injected kernel compile failure", task=task, attempt=attempt
+        )
 
 
 # ---------------------------------------------------------------------- #

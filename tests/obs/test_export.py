@@ -141,3 +141,37 @@ class TestSummarize:
         summary = summarize([])
         assert summary.phases == []
         assert summary.wall_s == 0.0
+
+
+class TestDegradedScenarios:
+    """kernel_fallback spans surface the vector->reference degradations."""
+
+    @staticmethod
+    def _fallback_span(span_id, start_s, scenario):
+        return Span(name="kernel_fallback", span_id=span_id,
+                    parent_id=None, start_s=start_s, duration_s=0.001,
+                    attrs={"scenario": scenario, "error": "injected"})
+
+    def test_collected_in_event_order_and_deduped(self):
+        spans = _sample_spans() + [
+            self._fallback_span(10, 100.3, "ss_cw"),
+            self._fallback_span(11, 100.4, "tt_typ"),
+            self._fallback_span(12, 100.5, "ss_cw"),  # retime of the same
+        ]
+        summary = summarize(chrome_trace(spans)["traceEvents"])
+        assert summary.degraded_scenarios == ["ss_cw", "tt_typ"]
+
+    def test_render_names_the_fallbacks(self):
+        spans = [self._fallback_span(1, 0.0, "ss_cw")]
+        text = summarize(chrome_trace(spans)["traceEvents"]).render()
+        assert "kernel fallbacks (vector -> reference): ss_cw" in text
+
+    def test_clean_trace_has_no_fallback_line(self):
+        summary = summarize(chrome_trace(_sample_spans())["traceEvents"])
+        assert summary.degraded_scenarios == []
+        assert "kernel fallbacks" not in summary.render()
+
+    def test_survives_file_roundtrip(self, tmp_path):
+        path = tmp_path / "degraded.trace.json"
+        write_chrome_trace(path, [self._fallback_span(1, 0.0, "ss_cw")])
+        assert summarize_file(path).degraded_scenarios == ["ss_cw"]

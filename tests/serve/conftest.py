@@ -1,0 +1,73 @@
+"""Shared fixtures for the signoff-as-a-service test suite."""
+
+import pytest
+
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.generators import random_logic
+from repro.serve import DaemonConfig, TimingDaemon
+from repro.sta import Constraints
+from repro.sta.mcmm import Scenario
+
+
+def make_design(seed=9):
+    """A small but non-trivial block: fast enough to retime per test."""
+    return random_logic(n_inputs=8, n_outputs=8, n_gates=40,
+                        n_levels=4, seed=seed)
+
+
+def make_scenarios(lib, lib_ss):
+    c = Constraints.single_clock(520.0)
+    c.input_delays = {f"in{i}": 60.0 for i in range(8)}
+    return [
+        Scenario("tt_typ", lib, c),
+        Scenario("ss_cw", lib_ss, c, beol_corner_name="cw", temp_c=125.0),
+    ]
+
+
+def nand2_instance(design):
+    """Name of some NAND2_X1 instance (a safe footprint-preserving
+    resize target present in every generated block)."""
+    for name, inst in sorted(design.instances.items()):
+        if inst.cell_name.startswith("NAND2_X1"):
+            return name
+    raise AssertionError("generated design has no NAND2_X1 instance")
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return make_library()
+
+
+@pytest.fixture(scope="session")
+def lib_ss():
+    return make_library(
+        LibraryCondition(process="ss", vdd=0.72, temp_c=125.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def scenarios(lib, lib_ss):
+    return make_scenarios(lib, lib_ss)
+
+
+@pytest.fixture
+def daemon_factory(scenarios):
+    """``start(**kwargs) -> started TimingDaemon``; all stopped on teardown."""
+    daemons = []
+
+    def start(design=None, scens=None, config=None, journal=None,
+              fault_injector=None):
+        daemon = TimingDaemon(
+            design if design is not None else make_design(),
+            scens if scens is not None else scenarios,
+            config=config or DaemonConfig(workers=2, queue_limit=32),
+            journal=journal,
+            fault_injector=fault_injector,
+        )
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield start
+    for daemon in daemons:
+        daemon.stop()

@@ -1,0 +1,126 @@
+"""Tests for the bounded admission queue and its shed backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionShedError, TimingError
+from repro.serve import AdmissionQueue
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(4)
+        for i in range(3):
+            queue.offer(i)
+        assert [queue.take(0.01) for _ in range(3)] == [0, 1, 2]
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue(4)
+        t0 = time.monotonic()
+        assert queue.take(0.05) is None
+        assert time.monotonic() - t0 >= 0.05
+
+    def test_shed_at_depth_limit(self):
+        queue = AdmissionQueue(2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(AdmissionShedError) as info:
+            queue.offer("c")
+        assert info.value.retryable
+        assert info.value.code == "E_OVERLOADED"
+        assert info.value.context["depth_limit"] == 2
+        assert queue.stats()["shed"] == 1
+        # Shed requests were never admitted: the queue still drains the
+        # two that were.
+        assert queue.take(0.01) == "a"
+        assert queue.take(0.01) == "b"
+
+    def test_offer_never_blocks_when_full(self):
+        queue = AdmissionQueue(1)
+        queue.offer("a")
+        t0 = time.monotonic()
+        with pytest.raises(AdmissionShedError):
+            queue.offer("b")
+        assert time.monotonic() - t0 < 0.2
+
+    def test_close_wakes_blocked_taker(self):
+        queue = AdmissionQueue(4)
+        result = []
+        worker = threading.Thread(
+            target=lambda: result.append(queue.take(10.0))
+        )
+        worker.start()
+        time.sleep(0.05)
+        queue.close()
+        worker.join(timeout=2.0)
+        assert not worker.is_alive()
+        assert result == [None]
+
+    def test_offer_after_close_sheds(self):
+        queue = AdmissionQueue(4)
+        queue.close()
+        with pytest.raises(AdmissionShedError):
+            queue.offer("late")
+
+    def test_close_drains_admitted_items(self):
+        queue = AdmissionQueue(4)
+        queue.offer("a")
+        queue.close()
+        assert queue.take(0.01) == "a"
+        assert queue.take(0.01) is None
+
+    def test_done_counts_completions(self):
+        queue = AdmissionQueue(4)
+        queue.offer("a")
+        queue.take(0.01)
+        queue.done()
+        stats = queue.stats()
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["depth"] == 0
+
+    def test_depth_limit_validated(self):
+        with pytest.raises(TimingError):
+            AdmissionQueue(0)
+
+    def test_stats_shape(self):
+        stats = AdmissionQueue(8).stats()
+        assert set(stats) == {"depth", "depth_limit", "admitted", "shed",
+                              "completed"}
+
+    def test_concurrent_producers_and_consumer_account_exactly(self):
+        queue = AdmissionQueue(16)
+        per_producer, producers = 100, 4
+        drained = []
+        stop = threading.Event()
+
+        def consume():
+            while not stop.is_set() or queue.depth:
+                item = queue.take(0.02)
+                if item is not None:
+                    drained.append(item)
+                    queue.done()
+
+        def produce(tag):
+            for i in range(per_producer):
+                try:
+                    queue.offer((tag, i))
+                except AdmissionShedError:
+                    pass
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        threads = [threading.Thread(target=produce, args=(t,))
+                   for t in range(producers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        consumer.join(timeout=5.0)
+        stats = queue.stats()
+        total = producers * per_producer
+        assert stats["admitted"] + stats["shed"] == total
+        assert len(drained) == stats["admitted"] == stats["completed"]

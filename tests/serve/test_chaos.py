@@ -1,0 +1,309 @@
+"""Chaos acceptance tests for the timing daemon.
+
+The scenarios here are the issue's acceptance bar: SIGKILL the daemon
+process mid-burst and watch the restart resume warm from the journal;
+inject a seeded persistent worker crash and watch it quarantine one
+session instead of killing the daemon; point the journal at an
+unwritable path and watch serving degrade rather than die; and slam 64
+concurrent overlay sessions against a single-client reference.
+
+The process-level tests drive the real CLI (``python -m repro serve``)
+through :class:`TimingClient`, so they cover argument plumbing, the
+port-file handshake, and signal handling too.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    DaemonUnavailableError,
+    ServeError,
+    SessionQuarantinedError,
+)
+from repro.runtime import RetryPolicy
+from repro.serve import DaemonConfig, TimingClient
+from repro.testing import FaultPlan
+from tests.serve.conftest import make_design, nand2_instance
+
+REPO = Path(__file__).resolve().parents[2]
+
+# First two corners of the standard MCMM set, i.e. what the CLI serves
+# with ``--corners 2``.
+NAMES = ["ss_720mv_-30c_cw", "ss_720mv_125c_rcw"]
+
+# Mirror of the CLI's --inject-faults plan parameters (cli._cmd_serve).
+CLI_FAULT_RATES = dict(crash_rate=0.15, hang_rate=0.05,
+                       persistent_rate=0.1, hang_seconds=0.4,
+                       kernel_rate=0.15)
+
+
+def start_serve(tmp_path, *extra):
+    """Launch ``repro serve`` in a subprocess; return (proc, port)."""
+    port_file = tmp_path / f"port-{time.monotonic_ns()}"
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--design", "rand", "--gates", "60", "--seed", "1",
+        "--period", "500", "--corners", "2", "--workers", "2",
+        "--port-file", str(port_file),
+        *extra,
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        cmd, cwd=str(tmp_path), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 90.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"serve exited early with code {proc.returncode}"
+            )
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return proc, int(text)
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("serve never wrote its port file")
+
+
+def reap(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=30.0)
+
+
+def _quarantine_seed():
+    """A seed whose CLI fault plan persistently crashes NAMES[0] only."""
+    for seed in range(300):
+        plan = FaultPlan.seeded(seed, NAMES, **CLI_FAULT_RATES)
+        by_task = {f.task: f for f in plan.faults}
+        fault = by_task.get(NAMES[0])
+        if fault is not None and fault.kind == "crash" \
+                and len(fault.attempts) > 1 and NAMES[1] not in by_task:
+            return seed
+    raise AssertionError("no quarantine seed in range")
+
+
+class TestSigkillWarmRestart:
+    def test_kill_mid_burst_then_resume_from_journal(self, tmp_path):
+        journal = tmp_path / "daemon.journal"
+        proc, port = start_serve(tmp_path, "--checkpoint", str(journal))
+        try:
+            with TimingClient("127.0.0.1", port, timeout_s=60.0) as client:
+                sid = client.request("open_session")["session"]
+                client.request("apply_eco", {"edits": [
+                    {"kind": "add_cap", "target": "n0", "value": 25.0},
+                ]}, session=sid)
+                shared_rows = client.request("timing")["scenarios"]
+                eco = client.request("timing", session=sid)
+                eco_rows = eco["scenarios"]
+            # The ECO must actually change timing, or "restored" proves
+            # nothing.
+            assert eco_rows != shared_rows
+
+            # Burst of clients hammering the daemon while it is shot.
+            outcomes, lock = [], threading.Lock()
+
+            def hammer():
+                client = TimingClient("127.0.0.1", port, timeout_s=10.0)
+                try:
+                    with client:
+                        while True:
+                            client.request("timing")
+                except ServeError as exc:
+                    with lock:
+                        outcomes.append(exc)
+                except Exception as exc:  # noqa: BLE001 - fail the test
+                    with lock:
+                        outcomes.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30.0)
+            for thread in threads:
+                thread.join(timeout=30.0)
+            # No client hung, none saw corruption: every in-flight
+            # request resolved to a structured *retryable* error.
+            assert not any(t.is_alive() for t in threads)
+            assert len(outcomes) == 4
+            for exc in outcomes:
+                assert isinstance(exc, DaemonUnavailableError), exc
+                assert exc.retryable
+        finally:
+            reap(proc)
+
+        # Restart on the same journal: cache prewarmed, session ledger
+        # replayed, and the first queries are pure cache hits that match
+        # the pre-kill answers exactly.
+        proc, port = start_serve(tmp_path, "--checkpoint", str(journal))
+        try:
+            with TimingClient("127.0.0.1", port, timeout_s=60.0) as client:
+                stats = client.request("stats")
+                assert stats["cache"]["prewarmed"] >= 2
+                assert stats["journal"]["available"]
+                assert stats["journal"]["restored_sessions"] == 1
+
+                warm = client.request("timing")
+                assert set(warm["sources"].values()) == {"cache"}
+                assert warm["scenarios"] == shared_rows
+
+                resumed = client.request("timing", session=sid)
+                assert set(resumed["sources"].values()) == {"cache"}
+                assert resumed["scenarios"] == eco_rows
+                assert resumed["version"] == eco["version"]
+
+                client.request("shutdown")
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            reap(proc)
+
+
+class TestSeededFaults:
+    def test_persistent_crash_quarantines_session_not_daemon(self,
+                                                             tmp_path):
+        seed = _quarantine_seed()
+        proc, port = start_serve(
+            tmp_path, "--inject-faults", str(seed), "--retries", "1",
+        )
+        try:
+            with TimingClient("127.0.0.1", port, timeout_s=60.0) as client:
+                sid = client.request("open_session")["session"]
+                with pytest.raises(SessionQuarantinedError) as info:
+                    client.request("timing", session=sid,
+                                   params={"scenarios": [NAMES[0]]})
+                assert not info.value.retryable
+
+                # The daemon survived: control plane and the healthy
+                # scenario both still serve...
+                assert client.request("ping")["pong"] is True
+                healthy = client.request(
+                    "timing", params={"scenarios": [NAMES[1]]}
+                )
+                assert NAMES[1] in healthy["scenarios"]
+                # ...while the poisoned session stays fenced until the
+                # client explicitly discards its overlay.
+                with pytest.raises(SessionQuarantinedError):
+                    client.request("timing", session=sid,
+                                   params={"scenarios": [NAMES[1]]})
+                client.request("discard", session=sid)
+                recovered = client.request(
+                    "timing", session=sid,
+                    params={"scenarios": [NAMES[1]]},
+                )
+                assert recovered["scenarios"][NAMES[1]] == \
+                    healthy["scenarios"][NAMES[1]]
+
+                stats = client.request("stats")
+                assert stats["quarantines"] == 1
+                client.request("shutdown")
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            reap(proc)
+
+
+class TestJournalDegradation:
+    def test_journal_io_error_degrades_not_dies(self, tmp_path):
+        # Parent directory does not exist: loading an absent journal is
+        # fine, but the first append raises OSError and must flip the
+        # journal to unavailable without failing the query.
+        bad = tmp_path / "no_such_dir" / "daemon.journal"
+        proc, port = start_serve(tmp_path, "--checkpoint", str(bad))
+        try:
+            with TimingClient("127.0.0.1", port, timeout_s=60.0) as client:
+                first = client.request("timing")
+                assert set(first["sources"].values()) <= {"full",
+                                                          "incremental"}
+                stats = client.request("stats")
+                assert stats["journal"]["available"] is False
+                assert stats["journal"]["io_errors"] >= 1
+                assert stats["journal"]["entries"] == 0
+                # Serving continues, now journal-less: the in-memory
+                # cache still answers.
+                again = client.request("timing")
+                assert set(again["sources"].values()) == {"cache"}
+                assert again["scenarios"] == first["scenarios"]
+                client.request("shutdown")
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            reap(proc)
+
+
+class TestConcurrentOverlayStress:
+    def test_64_clients_match_single_client_reference(self, daemon_factory,
+                                                      scenarios):
+        base = make_design()
+        target = nand2_instance(base)
+        daemon = daemon_factory(
+            design=base, scens=scenarios,
+            config=DaemonConfig(workers=8, queue_limit=256,
+                                session_limit=300),
+        )
+        # Two conflicting multi-edit ECOs, each heavy enough to move the
+        # critical path (so identical answers can only mean real
+        # isolation, not a no-op edit).
+        nands = sorted(n for n, i in base.instances.items()
+                       if i.cell_name.startswith("NAND2_X1"))
+        variants = [
+            [{"kind": "set_cell", "target": n, "value": "NAND2_X4_SVT"}
+             for n in nands],
+            [{"kind": "add_cap", "target": f"n{i}", "value": 120.0}
+             for i in range(10)],
+        ]
+
+        def run_session(client, policy, edits):
+            sid = client.call("open_session")["session"]
+            client.call("apply_eco", {"edits": edits}, session=sid,
+                        policy=policy)
+            result = client.call("timing", session=sid, policy=policy)
+            client.call("close_session", session=sid)
+            return result["scenarios"]
+
+        # Single-client reference: each variant computed alone, first.
+        reference = []
+        with TimingClient("127.0.0.1", daemon.port,
+                          timeout_s=60.0) as client:
+            for edits in variants:
+                reference.append(run_session(client, None, edits))
+        assert reference[0] != reference[1]
+
+        failures, lock = [], threading.Lock()
+
+        def stress(i):
+            policy = RetryPolicy(retries=4, backoff_s=0.05)
+            try:
+                client = TimingClient("127.0.0.1", daemon.port,
+                                      timeout_s=60.0)
+                with client:
+                    rows = run_session(client, policy, variants[i % 2])
+                if rows != reference[i % 2]:
+                    with lock:
+                        failures.append((i, rows))
+            except Exception as exc:  # noqa: BLE001 - collect, don't die
+                with lock:
+                    failures.append((i, repr(exc)))
+
+        threads = [threading.Thread(target=stress, args=(i,))
+                   for i in range(64)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not failures, failures[:5]
+        assert daemon.quarantines == 0
+        # Every overlay died with its session; the base design is clean.
+        assert base.instances[target].cell_name.startswith("NAND2_X1")
+        assert base.nets["n0"].extra_cap == 0.0
+        assert daemon.sessions.counts()["active"] == 0

@@ -1,0 +1,143 @@
+"""Tests for the NDJSON wire protocol: framing, bounds, error hydration."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionShedError,
+    DaemonUnavailableError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    SessionNotFoundError,
+    SessionQuarantinedError,
+)
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"v": 1, "id": "r1", "op": "ping", "params": {}}
+        data = protocol.encode(message)
+        assert data.endswith(b"\n")
+        assert b"\n" not in data[:-1]
+        assert protocol.decode_line(data[:-1]) == message
+
+    def test_encode_is_canonical(self):
+        # Sorted keys: identical messages produce identical frames.
+        assert protocol.encode({"b": 1, "a": 2}) == \
+            protocol.encode({"a": 2, "b": 1})
+
+    def test_encode_rejects_oversize(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.encode({"blob": "x" * protocol.MAX_LINE_BYTES})
+        assert info.value.code == "E_BAD_REQUEST"
+        assert not info.value.retryable
+
+    def test_decode_rejects_oversize(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"x" * (protocol.MAX_LINE_BYTES + 1))
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"{not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"[1, 2, 3]")
+
+    def test_decode_rejects_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b'{"op": "\xff\xfe"}')
+
+
+class TestParseRequest:
+    def test_defaults_filled_in(self):
+        request = protocol.parse_request({"op": "ping"})
+        assert request == {"v": 1, "id": None, "op": "ping",
+                           "session": None, "params": {}}
+
+    def test_fields_pass_through(self):
+        request = protocol.parse_request({
+            "v": 1, "id": "q-3", "op": "timing",
+            "session": "s-1", "params": {"scenarios": ["tt_typ"]},
+        })
+        assert request["id"] == "q-3"
+        assert request["session"] == "s-1"
+        assert request["params"] == {"scenarios": ["tt_typ"]}
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({"op": "drop_tables"})
+
+    def test_version_mismatch(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({"v": 99, "op": "ping"})
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({"op": "ping", "params": [1]})
+
+    def test_session_must_be_string(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({"op": "ping", "session": 7})
+
+    def test_control_and_query_ops_partition(self):
+        assert not set(protocol.CONTROL_OPS) & set(protocol.QUERY_OPS)
+        assert set(protocol.ALL_OPS) == \
+            set(protocol.CONTROL_OPS) | set(protocol.QUERY_OPS)
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = protocol.ok_response("r1", {"pong": True})
+        assert response == {"v": 1, "id": "r1", "ok": True,
+                            "result": {"pong": True}}
+
+    def test_error_response_echoes_id(self):
+        response = protocol.error_response(
+            "r2", AdmissionShedError("full", queue_depth=4)
+        )
+        assert response["id"] == "r2"
+        assert response["ok"] is False
+        assert response["error"]["code"] == "E_OVERLOADED"
+        assert response["error"]["retryable"] is True
+        assert "queue_depth" in response["error"]["context"]
+
+    @pytest.mark.parametrize("cls", [
+        ProtocolError, AdmissionShedError, DeadlineExceededError,
+        SessionQuarantinedError, SessionNotFoundError,
+        DaemonUnavailableError,
+    ])
+    def test_error_from_wire_rehydrates_class(self, cls):
+        error = cls("boom")
+        back = protocol.error_from_wire(error.to_wire())
+        assert type(back) is cls
+        assert back.code == cls.code
+        assert back.retryable == cls.retryable
+        assert "boom" in str(back)
+
+    def test_error_from_wire_unknown_code_is_base(self):
+        back = protocol.error_from_wire(
+            {"code": "E_SOMETHING_NEW", "message": "?"}
+        )
+        assert type(back) is ServeError
+
+    def test_error_from_wire_trusts_retryable_flag(self):
+        back = protocol.error_from_wire({
+            "code": "E_INTERNAL", "message": "transient",
+            "retryable": True,
+        })
+        assert back.retryable is True
+
+    def test_error_from_wire_none_payload(self):
+        back = protocol.error_from_wire(None)
+        assert isinstance(back, ServeError)
+
+    def test_error_roundtrip_through_frames(self):
+        frame = protocol.encode(protocol.error_response(
+            "r9", DeadlineExceededError("late", deadline_s=0.5)
+        ))
+        response = protocol.decode_line(frame[:-1])
+        error = protocol.error_from_wire(response["error"])
+        assert isinstance(error, DeadlineExceededError)
+        assert error.retryable

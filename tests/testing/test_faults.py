@@ -116,6 +116,62 @@ class TestFaultInjector:
         assert clone.plan == injector.plan
 
 
+class TestKernelFaults:
+    """kernel_compile faults target the vector engine's compile sites."""
+
+    def test_scope_partitions_worker_and_kernel(self):
+        plan = FaultPlan.of(
+            Fault("crash", task="a"),
+            Fault("kernel_compile", task="b"),
+            Fault("hang", task="c"),
+        )
+        assert Fault("kernel_compile", task="b").scope == "kernel"
+        assert Fault("crash", task="a").scope == "worker"
+        assert [f.task for f in plan.worker_faults()] == ["a", "c"]
+        assert [f.task for f in plan.kernel_faults()] == ["b"]
+        # for_task honors scope: the kernel fault is invisible to the
+        # worker lookup and vice versa.
+        assert plan.for_task("b", 1) is None
+        assert plan.for_task("b", 1, scope="kernel").kind == \
+            "kernel_compile"
+        assert plan.for_task("a", 1, scope="kernel") is None
+
+    def test_worker_fire_ignores_kernel_faults(self):
+        injector = FaultInjector(
+            FaultPlan.of(Fault("kernel_compile", task="t"))
+        )
+        injector.fire("t", 1)  # must not raise: wrong scope
+
+    def test_fire_kernel_raises_compile_error(self):
+        from repro.sta.kernel import KernelCompileError
+
+        injector = FaultInjector(
+            FaultPlan.of(Fault("kernel_compile", task="t"))
+        )
+        with pytest.raises(KernelCompileError) as info:
+            injector.fire_kernel("t", 1)
+        assert info.value.context["task"] == "t"
+        injector.fire_kernel("t", 2)   # attempt 2: transient by default
+        injector.fire_kernel("other")  # other tasks unaffected
+
+    def test_fire_kernel_ignores_worker_faults(self):
+        injector = FaultInjector(FaultPlan.of(Fault("crash", task="t")))
+        injector.fire_kernel("t", 1)  # must not raise: wrong scope
+
+    def test_seeded_kernel_rate_draws_kernel_faults(self):
+        names = [f"s{i}" for i in range(200)]
+        plan = FaultPlan.seeded(11, names, crash_rate=0.0, hang_rate=0.0,
+                                persistent_rate=0.0, kernel_rate=0.2)
+        assert plan.faults  # 20% of 200 draws should land
+        assert all(f.kind == "kernel_compile" for f in plan.faults)
+        assert plan.worker_faults() == ()
+        assert plan.kernel_faults() == plan.faults
+        again = FaultPlan.seeded(11, names, crash_rate=0.0,
+                                 hang_rate=0.0, persistent_rate=0.0,
+                                 kernel_rate=0.2)
+        assert plan == again
+
+
 class TestDataCorruption:
     def test_corrupt_cache_entry(self):
         from repro.netlist.generators import random_logic
