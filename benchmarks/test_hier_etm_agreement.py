@@ -1,0 +1,84 @@
+"""Hierarchical signoff via ETMs vs flat analysis (§4's closure lever).
+
+The paper's §4 lists block-level abstraction among the levers that keep
+signoff turnaround flat as designs grow: extract each block's boundary
+timing once, in parallel, and time the top level against the small
+models. This benchmark quantifies the two claims the subsystem makes:
+
+* **agreement** — on randomized hierarchical SoCs, every boundary
+  endpoint's hier slack matches the flat reference within 1 ps (the
+  anchored-interface discipline makes the stub algebra exact, so the
+  observed divergence is interpolation residue ~0);
+* **amortization** — per-block extraction cost is paid once per
+  (block, constraint) fingerprint; a warm re-signoff with untouched
+  blocks skips extraction entirely, and the per-block work shards
+  across worker processes.
+
+The per-seed agreement tables are written to
+``benchmarks/results/hier_agreement.txt`` (the CI artifact).
+"""
+
+import time
+
+from repro.netlist.generators import hierarchical_soc
+from repro.sta.hier import HierScheduler, compare_hier_vs_flat
+from repro.sta.mcmm import Scenario
+from repro.sta.scheduler import ScenarioResultCache
+
+SEEDS = (1, 2, 3)
+PERIOD_PS = 900.0
+
+
+def test_hier_etm_agreement(lib, record_table):
+    lines = []
+    for seed in SEEDS:
+        hier = hierarchical_soc(seed=seed, n_blocks=3)
+        cons = hier.top_constraints(period=PERIOD_PS)
+        scen = Scenario(name="tt", library=lib, constraints=cons)
+        report = compare_hier_vs_flat(hier, [scen], jobs=2,
+                                      executor="thread")
+        assert report.ok, report.render()
+        assert report.max_divergence <= 1.0
+        lines.append(f"--- seed {seed} "
+                     f"({sum(len(b.design.instances) for b in hier.blocks.values())} "
+                     f"instances, {len(hier.blocks)} blocks) ---")
+        lines.append(report.render())
+        lines.append("")
+    record_table("hier_agreement", "\n".join(lines))
+
+
+def test_hier_extraction_amortizes(lib, record_table):
+    hier = hierarchical_soc(seed=2, n_blocks=4, block_gates=160)
+    cons = hier.top_constraints(period=PERIOD_PS)
+    scen = Scenario(name="tt", library=lib, constraints=cons)
+    cache = ScenarioResultCache()
+
+    t0 = time.perf_counter()
+    cold = HierScheduler(hier, [scen], jobs=2, executor="process",
+                         etm_cache=cache).signoff()
+    cold_s = time.perf_counter() - t0
+    assert cold.ok and cold.etm_computed == len(hier.blocks)
+
+    t1 = time.perf_counter()
+    warm = HierScheduler(hier, [scen], jobs=2, executor="process",
+                         etm_cache=cache).signoff()
+    warm_s = time.perf_counter() - t1
+    assert warm.ok and warm.etm_computed == 0
+    assert warm.etm_cache_hits == len(hier.blocks)
+
+    flat = hier.flatten()
+    t2 = time.perf_counter()
+    scen.run(flat, HierScheduler(hier, [scen]).stack)
+    flat_s = time.perf_counter() - t2
+
+    text = "\n".join([
+        f"{'pass':<28} {'extractions':>12} {'wall_s':>8}",
+        f"{'flat reference STA':<28} {'-':>12} {flat_s:8.3f}",
+        f"{'hier cold (2 procs)':<28} {cold.etm_computed:>12} "
+        f"{cold_s:8.3f}",
+        f"{'hier warm (cached ETMs)':<28} {warm.etm_computed:>12} "
+        f"{warm_s:8.3f}",
+        f"warm speedup over cold: {cold_s / max(warm_s, 1e-9):.1f}x",
+    ])
+    record_table("hier_extraction_amortization", text)
+    assert warm_s < cold_s

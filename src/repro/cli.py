@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
                              --checkpoint run.journal --keep-going
     python -m repro signoff  --design rand --period 500 \\
                              --checkpoint run.journal --resume
+    python -m repro signoff  --hier --blocks 3 --period 900 \\
+                             --jobs 2 --executor process
     python -m repro validate --design rand --period 500
     python -m repro closure  --design c5315 --period 430
     python -m repro library  --process ss --vdd 0.72 --temp 125 -o ss.lib
@@ -206,6 +208,9 @@ def _cmd_signoff(args) -> int:
               file=sys.stderr)
         return EXIT_VIOLATIONS
 
+    if args.hier:
+        return _cmd_signoff_hier(args)
+
     design, _, constraints = _make_setup(args)
 
     def factory(process: str, vdd: float, temp: float):
@@ -269,6 +274,57 @@ def _cmd_signoff(args) -> int:
     result = outcome.result
     ok = result.merged_wns("setup") >= 0 and result.merged_wns("hold") >= 0
     return EXIT_CLEAN if ok else EXIT_VIOLATIONS
+
+
+def _cmd_signoff_hier(args) -> int:
+    """``signoff --hier``: ETM extraction sharded across workers, then
+    top-level signoff over the stub models."""
+    from repro.netlist.generators import hierarchical_soc
+    from repro.runtime import RetryPolicy
+    from repro.sta.hier import HierScheduler
+    from repro.sta.mcmm import standard_scenario_set
+    from repro.sta.scheduler import ScenarioResultCache
+
+    hier = hierarchical_soc(
+        seed=args.seed,
+        n_blocks=args.blocks,
+        block_gates=max(20, args.gates // max(1, args.blocks)),
+    )
+    constraints = hier.top_constraints(period=args.period)
+
+    def factory(process: str, vdd: float, temp: float):
+        return make_library(
+            LibraryCondition(process=process, vdd=vdd, temp_c=temp)
+        )
+
+    scenario_set = standard_scenario_set(constraints, factory)
+    scheduler = HierScheduler(
+        hier,
+        scenario_set.scenarios,
+        stack=scenario_set.stack,
+        jobs=args.jobs,
+        executor=args.executor,
+        etm_cache=ScenarioResultCache(),
+        signoff_cache=ScenarioResultCache(verify=True),
+        policy=RetryPolicy(retries=args.retries, timeout_s=args.timeout),
+        engine=args.engine,
+    )
+    with _obs_session(args):
+        outcome = scheduler.signoff()
+    print(outcome.render("setup"))
+    print()
+    for event in outcome.events:
+        print(f"supervisor: {event}")
+    print(
+        f"jobs: {args.jobs} ({args.executor}); extracted "
+        f"{outcome.etm_computed} block model(s) "
+        f"({outcome.etm_cache_hits} cached) in {outcome.wall_time_s:.2f} s"
+    )
+    if outcome.top is None:
+        return EXIT_FATAL
+    if outcome.degraded:
+        return EXIT_DEGRADED
+    return EXIT_CLEAN if not outcome.has_violations else EXIT_VIOLATIONS
 
 
 def _cmd_closure(args) -> int:
@@ -344,7 +400,7 @@ def _cmd_etm(args) -> int:
     design, library, constraints = _make_setup(args)
     constraints.input_delays = {}
     sta = STA(design, library, constraints)
-    sta.report = sta.run()
+    sta.run()  # extract_etm reads the retained report; no second run
     print(render_etm(extract_etm(sta)))
     return 0
 
@@ -552,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sig.add_argument("--no-validate", action="store_true",
                        help="skip the pre-run netlist/library/constraint "
                             "lint")
+    p_sig.add_argument("--hier", action="store_true",
+                       help="hierarchical signoff: extract per-block "
+                            "timing models in parallel workers, then "
+                            "time the top level against the stubs")
+    p_sig.add_argument("--blocks", type=int, default=3,
+                       help="block instance count for --hier (default 3)")
     p_sig.add_argument("--inject-faults", type=int, metavar="SEED",
                        default=None,
                        help="chaos testing: inject a seeded, deterministic "

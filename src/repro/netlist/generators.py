@@ -410,6 +410,82 @@ def tiny_design(flavor: str = "svt") -> Design:
     return design
 
 
+def hierarchical_soc(
+    name: str = "soc",
+    n_blocks: int = 3,
+    block_gates: int = 96,
+    seed: int = 1,
+    with_feedthrough: bool = True,
+    flavor: str = "svt",
+):
+    """A hierarchical SoC: AES/MPEG2/random-logic-like blocks stitched
+    under a top with inter-block nets.
+
+    Every block is anchored (see
+    :func:`repro.netlist.hierarchy.with_boundary_anchors`) so its ETM is
+    fully tabulated; blocks are chained in a ring with ``rng``-chosen
+    port pairs, and one channel optionally routes through a pure
+    feedthrough block. Returns a
+    :class:`repro.netlist.hierarchy.HierarchicalDesign`.
+    """
+    from repro.netlist.hierarchy import (
+        HierarchicalDesign,
+        feedthrough_block,
+        with_boundary_anchors,
+    )
+
+    if n_blocks < 2:
+        raise NetlistError("a hierarchical SoC needs at least 2 blocks")
+    rng = random.Random(seed)
+    hier = HierarchicalDesign(name)
+    names: List[str] = []
+    for i in range(n_blocks):
+        kind = i % 3
+        if kind == 0:
+            block = random_logic(
+                name=f"rl{i}", n_inputs=4, n_outputs=4,
+                n_gates=max(20, block_gates), n_levels=5,
+                seed=seed * 31 + i, flavor=flavor,
+            )
+        elif kind == 1:
+            block = aes_like(
+                name=f"aes{i}", n_sboxes=2,
+                sbox_gates=max(12, block_gates // 4),
+                seed=seed * 17 + i, flavor=flavor,
+            )
+        else:
+            block = ripple_adder_design(
+                name=f"add{i}", bits=4, lanes=1, flavor=flavor,
+            )
+        with_boundary_anchors(block, flavor=flavor)
+        bname = f"b{i}"
+        hier.add_block(
+            bname, block,
+            origin=(40.0 + i * 160.0, 20.0 + (i % 2) * 90.0),
+        )
+        names.append(bname)
+    if with_feedthrough:
+        ft = feedthrough_block(name=f"ft{seed}", channels=2, flavor=flavor)
+        hier.add_block("ft", ft, origin=(80.0 + n_blocks * 80.0, 140.0))
+
+    for i in range(n_blocks):
+        src, dst = names[i], names[(i + 1) % n_blocks]
+        for _ in range(2):
+            outs = hier.free_outputs(src)
+            ins = hier.free_inputs(dst)
+            if not outs or not ins:
+                break
+            hier.connect(src, rng.choice(outs), dst, rng.choice(ins))
+    if with_feedthrough:
+        # Route one channel of the first link through the feedthrough.
+        outs = hier.free_outputs(names[0])
+        ins = hier.free_inputs(names[1])
+        if outs and ins:
+            hier.connect(names[0], rng.choice(outs), "ft", "ft_in0")
+            hier.connect("ft", "ft_out0", names[1], rng.choice(ins))
+    return hier
+
+
 def _merge(target: Design, source: Design, prefix: str,
            col_offset: float, row_offset: float) -> None:
     """Merge ``source`` into ``target`` with renamed objects; the source's

@@ -73,6 +73,11 @@ class STA:
         )
         self.graph = TimingGraph(design, library, constraints)
         self.prop: Optional[PropagationResult] = None
+        #: The report of the last full :meth:`run` (None before the first
+        #: run). Consumers that only need the completed run's endpoints —
+        #: the ETM extractor, the scenario timer pool — read this instead
+        #: of paying a second full analysis.
+        self.report: Optional[TimingReport] = None
         #: Per-net coupling deltas of the last :meth:`run` (None when SI
         #: is off). The incremental timer reuses these for nets outside
         #: an edit's electrical neighbourhood instead of dropping them.
@@ -96,6 +101,7 @@ class STA:
             slew_violations=self._slew_violations(),
             scenario=self.library.name,
         )
+        self.report = report
         return report
 
     # ------------------------------------------------------------------ #
@@ -129,13 +135,36 @@ class STA:
         result.startpoint = origin
         result.launched_from_clock = origin in self.graph.clock_pins
 
+    def _clock_of_check(self, check: TimingCheck):
+        """The :class:`ClockSpec` governing a check's capture pin.
+
+        Single-clock constraint sets short-circuit to ``the_clock()``
+        (no graph walk). With multiple clocks the capture clock is found
+        by walking the CK pin's late backpointers to the clock root and
+        matching that root against the defined clock ports. Returns None
+        when the root is not a constrained clock port. Deliberately
+        stateless: :class:`~repro.sta.kernel.CornerView` reuses the
+        endpoint methods without running ``STA.__init__``.
+        """
+        clocks = self.constraints.clocks
+        if len(clocks) == 1:
+            return self.constraints.the_clock()
+        origin = self._origin(check.clock_pin, "rise", "late")
+        if not origin.is_port:
+            return None
+        return self.constraints.clock_for_port(origin.pin)
+
     def _setup_endpoints(self) -> List[EndpointResult]:
         out = []
-        clock = self.constraints.the_clock() if self.constraints.clocks else None
-        if clock is None:
+        if not self.constraints.clocks:
             return out
         for check in self.graph.setup_checks():
             clk_early, _, clk_slew = self._clock_at(check.clock_pin)
+            clock = self._clock_of_check(check)
+            if clock is None:
+                raise TimingError(
+                    f"cannot resolve the capture clock of {check.data_pin}"
+                )
             clk_early += self.constraints.clock_latency.get(check.instance, 0.0)
             best: Optional[EndpointResult] = None
             for direction in DIRECTIONS:
@@ -170,11 +199,15 @@ class STA:
 
     def _hold_endpoints(self) -> List[EndpointResult]:
         out = []
-        clock = self.constraints.the_clock() if self.constraints.clocks else None
-        if clock is None:
+        if not self.constraints.clocks:
             return out
         for check in self.graph.hold_checks():
             _, clk_late, clk_slew = self._clock_at(check.clock_pin)
+            clock = self._clock_of_check(check)
+            if clock is None:
+                raise TimingError(
+                    f"cannot resolve the capture clock of {check.data_pin}"
+                )
             clk_late += self.constraints.clock_latency.get(check.instance, 0.0)
             best: Optional[EndpointResult] = None
             for direction in DIRECTIONS:
@@ -208,9 +241,9 @@ class STA:
 
     def _output_endpoints(self) -> List[EndpointResult]:
         out = []
-        clock = self.constraints.the_clock() if self.constraints.clocks else None
-        if clock is None:
+        if not self.constraints.clocks:
             return out
+        clock = self.constraints.primary_clock()
         for ref in self.graph.output_port_refs():
             direction, late = self.prop.worst_late(ref)
             if direction is None:

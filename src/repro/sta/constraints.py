@@ -77,6 +77,23 @@ class Constraints:
             )
         return next(iter(self.clocks.values()))
 
+    def primary_clock(self) -> ClockSpec:
+        """The clock that references output-delay checks.
+
+        Single-clock sets return the sole clock (identical to
+        ``the_clock()``). With several clocks the one literally named
+        ``"clk"`` wins if present, otherwise the lexicographically first
+        name — a deterministic stand-in for SDC's explicit
+        ``set_output_delay -clock``.
+        """
+        if not self.clocks:
+            raise ConstraintError("no clocks defined")
+        if len(self.clocks) == 1:
+            return next(iter(self.clocks.values()))
+        if "clk" in self.clocks:
+            return self.clocks["clk"]
+        return self.clocks[min(self.clocks)]
+
     def clock_for_port(self, port: str) -> Optional[ClockSpec]:
         for spec in self.clocks.values():
             if spec.port == port:

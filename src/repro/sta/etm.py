@@ -6,25 +6,75 @@ An ETM abstracts a closed block to its boundary:
 
 - per data-input port: the *arrival budget* (latest top-level arrival
   that still meets every internal setup check) and a hold budget;
-- per output port: the worst clock-to-output delay and slew;
+- per output port: the worst clock-to-output delay and slew, kept
+  separate from pure input->output *feedthrough* arcs (which launch
+  from a data port, not the clock);
 - per input port: the capacitance the top level must drive.
 
-Budgets are read directly off the backward required-time pass
+Scalar budgets are read directly off the backward required-time pass
 (:mod:`repro.sta.required`), so an ETM check is exact for paths through
 the boundary — which the tests verify against flat analysis.
+
+On top of the scalars, :func:`extract_etm` tabulates slew/load-indexed
+boundary arcs in the shape Li & Schlichtmann (arXiv 1705.04976) describe:
+setup/hold budgets as functions of the boundary data slew, clock->out
+delay/slew as functions of the boundary load, and feedthrough arcs as
+full (slew, load) tables. Tabulation requires the *anchored interface*
+discipline (see :func:`repro.netlist.hierarchy.with_boundary_anchors`):
+each data input drives exactly one combinational anchor cell whose
+fanout is flop data pins, and each output is driven by a combinational
+anchor. Ports that do not satisfy it keep scalar-only data.
+
+Budget tables are stored on the block's own absolute time base (clock
+source latency included); :mod:`repro.sta.hier` applies the affine
+shifts that turn them into stub-cell constraint/delay tables.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TimingError
+from repro.liberty.arcs import ArcTiming, TimingSense
+from repro.liberty.tables import LookupTable2D
 from repro.netlist.design import PinRef
 from repro.sta.analysis import STA
-from repro.sta.propagation import DIRECTIONS
+from repro.sta.propagation import DIRECTIONS, driver_load
 from repro.sta.required import pin_slack, required_times
+
+#: Degenerate clock-slew axis for budget tables: the budget depends on
+#: the boundary data slew only (the capture-clock slew inside the block
+#: is fixed by its clock tree), so tables are constant along this axis.
+CSLEW_AXIS = (1.0, 300.0)
+
+
+@dataclass
+class EtmClock:
+    """A clock the block was extracted under (mirrors ClockSpec)."""
+
+    name: str
+    port: str
+    period: float
+    uncertainty_setup: float
+    uncertainty_hold: float
+    source_latency: float
+    slew: float
+
+
+@dataclass
+class EtmFeedthroughArc:
+    """A combinational input->output arc through the block."""
+
+    from_port: str
+    to_port: str
+    sense: TimingSense
+    #: output direction -> delay/slew tables over (input slew, output load),
+    #: underived (the consuming engine applies its own derate factors).
+    timing: Dict[str, ArcTiming] = field(default_factory=dict)
+    slew_validity: Optional[Tuple[float, float]] = None
+    load_validity: Optional[Tuple[float, float]] = None
 
 
 @dataclass
@@ -36,7 +86,22 @@ class EtmPort:
     hold_budget: Optional[float] = None  # earliest OK arrival, ps
     clock_to_out: Optional[float] = None  # worst output delay, ps
     out_slew: Optional[float] = None
-    input_cap: Optional[float] = None
+    input_cap: Optional[float] = None  # legacy: wire + pin load, fF
+    # -- extended, slew/load-indexed data -------------------------------- #
+    clock: Optional[str] = None  # governing clock name, if unique
+    pin_cap: Optional[float] = None  # boundary anchor pin cap, fF
+    feedthrough_delay: Optional[float] = None  # worst in->out arrival, ps
+    feedthrough_from: Optional[str] = None  # launching input port
+    #: data direction -> latest OK arrival vs (data slew, clock slew)
+    setup_budget_tables: Dict[str, LookupTable2D] = field(default_factory=dict)
+    #: data direction -> earliest OK arrival vs (data slew, clock slew)
+    hold_budget_tables: Dict[str, LookupTable2D] = field(default_factory=dict)
+    #: output direction -> clock->out arrival/slew vs (clock slew, load);
+    #: arrivals are measured from the clock edge at the block clock port
+    #: (source latency removed).
+    clock_to_out_timing: Dict[str, ArcTiming] = field(default_factory=dict)
+    slew_validity: Optional[Tuple[float, float]] = None
+    load_validity: Optional[Tuple[float, float]] = None
 
 
 @dataclass
@@ -47,13 +112,27 @@ class ExtractedTimingModel:
     clock_port: str
     period: float
     ports: Dict[str, EtmPort] = field(default_factory=dict)
-    internal_wns: float = math.inf  # WNS of purely-internal paths
+    internal_wns: float = math.inf  # setup WNS of purely-internal paths
+    internal_hold_wns: float = math.inf
+    #: Every clock the block was extracted under, by name.
+    clocks: Dict[str, EtmClock] = field(default_factory=dict)
+    #: clock port -> total pin cap its net drives, fF (for stub CK pins).
+    clock_caps: Dict[str, float] = field(default_factory=dict)
+    #: port -> flat anchor pin ("inst/pin") the tables are referenced to.
+    boundary_pins: Dict[str, str] = field(default_factory=dict)
+    feedthroughs: List[EtmFeedthroughArc] = field(default_factory=list)
+    flat_setup_margin: float = 0.0
+    flat_hold_margin: float = 0.0
 
     def input_ports(self) -> List[str]:
         return [p for p, d in self.ports.items() if d.setup_budget is not None]
 
     def output_ports(self) -> List[str]:
         return [p for p, d in self.ports.items() if d.clock_to_out is not None]
+
+    def feedthrough_ports(self) -> List[str]:
+        return [p for p, d in self.ports.items()
+                if d.feedthrough_delay is not None]
 
     def setup_slack_for_arrival(self, port: str, arrival: float) -> float:
         """Top-level setup slack for data arriving at ``arrival`` ps after
@@ -78,24 +157,37 @@ class ExtractedTimingModel:
         return wns
 
 
-def extract_etm(sta: STA) -> ExtractedTimingModel:
+def extract_etm(sta: STA, tables: bool = True) -> ExtractedTimingModel:
     """Extract the block's ETM from a completed STA run.
 
     The run must use zero input delays so budgets are absolute (the
-    extractor asserts this).
+    extractor asserts this). Reuses the retained report of the completed
+    run — a second full analysis is only paid if ``run()`` was never
+    called. ``tables=False`` skips the slew/load-indexed boundary arcs
+    and extracts scalars only.
     """
     if sta.prop is None:
         raise TimingError("run() must be called before ETM extraction")
     constraints = sta.constraints
     if any(v != 0.0 for v in constraints.input_delays.values()):
         raise TimingError("extract the ETM with zero input delays")
-    clock = constraints.the_clock()
+    primary = constraints.primary_clock()
 
     etm = ExtractedTimingModel(
         block_name=sta.design.name,
-        clock_port=clock.port,
-        period=clock.period,
+        clock_port=primary.port,
+        period=primary.period,
+        flat_setup_margin=constraints.flat_setup_margin,
+        flat_hold_margin=constraints.flat_hold_margin,
     )
+    for name, spec in constraints.clocks.items():
+        etm.clocks[name] = EtmClock(
+            name=spec.name, port=spec.port, period=spec.period,
+            uncertainty_setup=spec.uncertainty_setup,
+            uncertainty_hold=spec.uncertainty_hold,
+            source_latency=spec.source_latency, slew=spec.slew,
+        )
+        etm.clock_caps[spec.port] = sta.parasitics.pin_caps_total(spec.port)
 
     req_late = required_times(sta, "late")
     req_early = required_times(sta, "early")
@@ -117,17 +209,28 @@ def extract_etm(sta: STA) -> ExtractedTimingModel:
             sta.parasitics.pin_caps_total(port)
         )
 
-    report = sta.report if hasattr(sta, "report") and sta.report else None
+    report = sta.report
     if report is None:
         report = sta.run()
     for endpoint in report.endpoints("setup"):
-        if endpoint.kind == "output":
-            port = endpoint.endpoint.pin
-            entry = etm.ports.setdefault(port, EtmPort(name=port))
+        if endpoint.kind != "output":
+            continue
+        port = endpoint.endpoint.pin
+        entry = etm.ports.setdefault(port, EtmPort(name=port))
+        direction = endpoint.data_direction
+        arr = sta.prop.at(endpoint.endpoint, direction)
+        if endpoint.launched_from_clock:
             entry.clock_to_out = endpoint.arrival
-            direction = endpoint.data_direction
-            arr = sta.prop.at(endpoint.endpoint, direction)
             entry.out_slew = arr.slew_late
+        else:
+            # Feedthrough: the worst path launches from a data input at
+            # arrival 0, so this is an in->out delay, not clock-to-out.
+            entry.feedthrough_delay = endpoint.arrival
+            start = endpoint.startpoint
+            if start is not None and start.is_port:
+                entry.feedthrough_from = start.pin
+            if entry.out_slew is None:
+                entry.out_slew = arr.slew_late
 
     # Internal WNS: flop-to-flop paths that never cross the boundary.
     # Conservative: endpoints whose worst path starts at a clock root.
@@ -135,11 +238,386 @@ def extract_etm(sta: STA) -> ExtractedTimingModel:
     for endpoint in report.endpoints("setup"):
         if endpoint.kind != "setup":
             continue
-        path = sta.worst_path(endpoint)
-        if path.startpoint.is_port and path.startpoint.pin in clock_ports:
+        if endpoint.launched_from_clock:
             internal = min(internal, endpoint.slack)
     etm.internal_wns = internal
+    internal_hold = math.inf
+    for endpoint in report.endpoints("hold"):
+        if endpoint.launched_from_clock:
+            internal_hold = min(internal_hold, endpoint.slack)
+    etm.internal_hold_wns = internal_hold
+
+    if tables:
+        _extract_input_tables(sta, etm, clock_ports)
+        _extract_output_tables(sta, etm, clock_ports)
     return etm
+
+
+# ---------------------------------------------------------------------- #
+# slew/load-indexed boundary arcs
+
+
+def _densify(points) -> List[float]:
+    """Sorted unique points plus midpoints (interpolation headroom)."""
+    pts = sorted({float(p) for p in points})
+    if len(pts) < 2:
+        pts = pts + [pts[0] + 1.0] if pts else [1.0, 2.0]
+    out: List[float] = []
+    for a, b in zip(pts, pts[1:]):
+        out.append(a)
+        out.append(0.5 * (a + b))
+    out.append(pts[-1])
+    return out
+
+
+def _budget_table(axis: List[float], values: List[float]) -> LookupTable2D:
+    """A (data slew x clock slew) table constant along the clock axis."""
+    return LookupTable2D(
+        tuple(axis), CSLEW_AXIS, [[v, v] for v in values]
+    )
+
+
+def _anchor_of_input(sta: STA, port: str):
+    """(anchor input ref, its single delay arc) or None.
+
+    The anchored-interface discipline: the port net has exactly one
+    load, a combinational cell pin with exactly one delay arc.
+    """
+    net = sta.design.nets.get(port)
+    if net is None or len(net.loads) != 1:
+        return None
+    anchor_in = net.loads[0]
+    if anchor_in.is_port:
+        return None
+    cell = sta.graph.cell_of(anchor_in)
+    if cell.is_sequential:
+        return None
+    arcs = [a for a in cell.arcs
+            if a.related_pin == anchor_in.pin and a.timing_type.is_delay]
+    if len(arcs) != 1:
+        return None
+    return anchor_in, arcs[0]
+
+
+def _extract_input_tables(sta: STA, etm: ExtractedTimingModel,
+                          clock_ports) -> None:
+    constraints = sta.constraints
+    setup_by_pin = {c.data_pin: c for c in sta.graph.setup_checks()}
+    hold_by_pin = {c.data_pin: c for c in sta.graph.hold_checks()}
+    for port in sta.design.input_ports():
+        if port in clock_ports:
+            continue
+        anchored = _anchor_of_input(sta, port)
+        if anchored is None:
+            continue
+        anchor_in, arc = anchored
+        inst = sta.design.instances[anchor_in.instance]
+        out_net_name = inst.connections.get(arc.pin)
+        if out_net_name is None:
+            continue
+        a_out = PinRef(anchor_in.instance, arc.pin)
+        sinks = list(sta.design.nets[out_net_name].loads)
+        if not sinks or any(
+            s.is_port or s not in setup_by_pin or s not in hold_by_pin
+            for s in sinks
+        ):
+            # Registered-immediately-in discipline violated: the anchor
+            # must fan out to flop data pins only. Scalars still apply.
+            continue
+        load = sta.prop.loads.get(a_out)
+        if load is None:
+            load = driver_load(sta.graph, sta.parasitics, a_out)
+        para = sta.parasitics.extract(out_net_name)
+        depth = sta.graph.data_depth.get(a_out, 1)
+        is_clock = anchor_in in sta.graph.clock_pins
+        f_late = sta.derates.factor(is_clock, "late", depth,
+                                    anchor_in.instance)
+        f_early = sta.derates.factor(is_clock, "early", depth,
+                                     anchor_in.instance)
+
+        axis = _densify(
+            x for t in arc.timing.values() for x in t.delay.index_1
+        )
+        entry = etm.ports.setdefault(port, EtmPort(name=port))
+        clocks_seen = set()
+        ok = True
+        for d_in in DIRECTIONS:
+            setup_col: List[float] = []
+            hold_col: List[float] = []
+            for s in axis:
+                latest = math.inf
+                earliest = -math.inf
+                for d_out in arc.sense.output_directions(d_in):
+                    if d_out not in arc.timing:
+                        continue
+                    delay, out_slew = arc.delay_and_slew(d_out, s, load)
+                    for sink in sinks:
+                        cap = sta.graph.cell_of(sink).pin(
+                            sink.pin).capacitance
+                        wire = para.wire_delay(sink, cap)
+                        sink_slew = out_slew + para.slew_degradation(
+                            sink, cap)
+                        sc = setup_by_pin[sink]
+                        hc = hold_by_pin[sink]
+                        clk = sta.prop.at(sc.clock_pin, "rise")
+                        if not clk.valid:
+                            ok = False
+                            break
+                        spec = sta._clock_of_check(sc)
+                        if spec is None:
+                            ok = False
+                            break
+                        clocks_seen.add(spec.name)
+                        lat = constraints.clock_latency.get(sc.instance, 0.0)
+                        setup = sc.arc.constraint_value(
+                            d_out, sink_slew, clk.slew_late)
+                        latest = min(
+                            latest,
+                            spec.period + clk.early + lat - setup
+                            - spec.uncertainty_setup
+                            - constraints.flat_setup_margin
+                            - (delay * f_late + wire),
+                        )
+                        hold = hc.arc.constraint_value(
+                            d_out, sink_slew, clk.slew_late)
+                        earliest = max(
+                            earliest,
+                            clk.late + lat + hold + spec.uncertainty_hold
+                            + constraints.flat_hold_margin
+                            - (delay * f_early + wire),
+                        )
+                    if not ok:
+                        break
+                if not ok or math.isinf(latest) or math.isinf(earliest):
+                    ok = False
+                    break
+                setup_col.append(latest)
+                hold_col.append(earliest)
+            if not ok:
+                break
+            entry.setup_budget_tables[d_in] = _budget_table(axis, setup_col)
+            entry.hold_budget_tables[d_in] = _budget_table(axis, hold_col)
+        if not ok:
+            entry.setup_budget_tables.clear()
+            entry.hold_budget_tables.clear()
+            continue
+        entry.pin_cap = sta.graph.cell_of(anchor_in).pin(
+            anchor_in.pin).capacitance
+        entry.slew_validity = (axis[0], axis[-1])
+        if len(clocks_seen) == 1:
+            entry.clock = next(iter(clocks_seen))
+        etm.boundary_pins[port] = str(anchor_in)
+
+
+def _trace_feedthrough_chain(sta: STA, a_in: PinRef):
+    """Walk upstream from an output anchor's input pin to a launch point.
+
+    Returns ("port", input port name, stages) for a feedthrough chain —
+    stages ordered source->sink as (instance, arc, out_ref, in_ref) —
+    ("reg", None, None) for a flop-launched cone, or (None, None, None)
+    when the structure is ambiguous (reconvergence, non-unate stages).
+    """
+    stages = []
+    cur = a_in
+    for _ in range(64):
+        net_name = None
+        if cur.is_port:
+            return "port", cur.pin, list(reversed(stages))
+        inst = sta.design.instances.get(cur.instance)
+        if inst is None:
+            return None, None, None
+        net_name = inst.connections.get(cur.pin)
+        if net_name is None:
+            return None, None, None
+        driver = sta.design.nets[net_name].driver
+        if driver is None:
+            return None, None, None
+        if driver.is_port:
+            return "port", driver.pin, list(reversed(stages))
+        cell = sta.graph.cell_of(driver)
+        if cell.is_sequential:
+            return "reg", None, None
+        arcs = [a for a in cell.arcs
+                if a.pin == driver.pin and a.timing_type.is_delay]
+        if len(arcs) != 1 or arcs[0].sense is TimingSense.NON_UNATE:
+            return None, None, None
+        stages.append((driver.instance, arcs[0], driver,
+                       PinRef(driver.instance, arcs[0].related_pin)))
+        cur = PinRef(driver.instance, arcs[0].related_pin)
+    return None, None, None
+
+
+def _extract_output_tables(sta: STA, etm: ExtractedTimingModel,
+                           clock_ports) -> None:
+    for port in sta.design.output_ports():
+        net = sta.design.nets.get(port)
+        if net is None or net.driver is None or net.driver.is_port:
+            continue
+        driver = net.driver
+        cell = sta.graph.cell_of(driver)
+        if cell.is_sequential:
+            continue  # unanchored flop->port output: scalar only
+        arcs = [a for a in cell.arcs
+                if a.pin == driver.pin and a.timing_type.is_delay]
+        if len(arcs) != 1:
+            continue
+        arc = arcs[0]
+        a_in = PinRef(driver.instance, arc.related_pin)
+        kind, from_port, stages = _trace_feedthrough_chain(sta, a_in)
+        anchor_stage = (driver.instance, arc, driver, a_in)
+        if kind == "reg":
+            _tabulate_clock_to_out(sta, etm, port, anchor_stage)
+        elif kind == "port" and from_port not in clock_ports:
+            _tabulate_feedthrough(
+                sta, etm, port, from_port, stages + [anchor_stage])
+
+
+def _tabulate_clock_to_out(sta: STA, etm: ExtractedTimingModel, port: str,
+                           anchor_stage) -> None:
+    """Clock->out arrival/slew at the output anchor as f(load).
+
+    Arrivals at the anchor input come from the completed propagation
+    (they bake in the whole launch path); only the final stage is
+    re-evaluated per load sample. Bilinear interpolation at fixed slew
+    is linear in load, so sampling the arc's own load axis is exact.
+    """
+    inst_name, arc, a_out, a_in = anchor_stage
+    spec_name = None
+    origin = None
+    for d in DIRECTIONS:
+        if sta.prop.has(a_in, d):
+            origin = sta._origin(a_in, d, "late")
+            break
+    if origin is not None and origin.is_port:
+        spec = sta.constraints.clock_for_port(origin.pin)
+        if spec is not None:
+            spec_name = spec.name
+    if spec_name is None:
+        return
+    spec = sta.constraints.clocks[spec_name]
+    depth = sta.graph.data_depth.get(a_out, 1)
+    is_clock = a_in in sta.graph.clock_pins
+    f_late = sta.derates.factor(is_clock, "late", depth, inst_name)
+
+    axis = _densify(
+        x for t in arc.timing.values() for x in t.delay.index_2
+    )
+    entry = etm.ports.setdefault(port, EtmPort(name=port))
+    for d_out in DIRECTIONS:
+        if d_out not in arc.timing:
+            continue
+        delays: List[float] = []
+        slews: List[float] = []
+        for load in axis:
+            worst = -math.inf
+            worst_slew = 0.0
+            for d_in in DIRECTIONS:
+                if not sta.prop.has(a_in, d_in):
+                    continue
+                if d_out not in arc.sense.output_directions(d_in):
+                    continue
+                arr = sta.prop.at(a_in, d_in)
+                delay, slew = arc.delay_and_slew(
+                    d_out, arr.slew_late, load)
+                worst = max(worst, arr.late + delay * f_late)
+                worst_slew = max(worst_slew, slew)
+            if math.isinf(worst):
+                return
+            delays.append(worst - spec.source_latency)
+            slews.append(worst_slew)
+        entry.clock_to_out_timing[d_out] = ArcTiming(
+            delay=LookupTable2D(CSLEW_AXIS, tuple(axis),
+                                [delays, delays]),
+            slew=LookupTable2D(CSLEW_AXIS, tuple(axis),
+                               [slews, slews]),
+        )
+    if entry.clock_to_out_timing:
+        entry.clock = spec_name
+        entry.load_validity = (axis[0], axis[-1])
+        etm.boundary_pins[port] = str(a_out)
+
+
+def _tabulate_feedthrough(sta: STA, etm: ExtractedTimingModel, port: str,
+                          from_port: str, stages) -> None:
+    """Compose a port->port combinational chain into (slew, load) tables.
+
+    Intermediate stage loads and wire delays are frozen at their values
+    in the completed run; the first-stage input slew and last-stage load
+    are the table axes. Single-stage chains (the anchored discipline)
+    are an exact re-sampling of the anchor's own arc.
+    """
+    slew_axis = _densify(
+        x for t in stages[0][1].timing.values() for x in t.delay.index_1
+    )
+    load_axis = _densify(
+        x for t in stages[-1][1].timing.values() for x in t.delay.index_2
+    )
+    timing: Dict[str, ArcTiming] = {}
+    sense_flips = sum(
+        1 for _, a, _, _ in stages if a.sense is TimingSense.NEGATIVE_UNATE
+    )
+    sense = (TimingSense.POSITIVE_UNATE if sense_flips % 2 == 0
+             else TimingSense.NEGATIVE_UNATE)
+    for d0 in DIRECTIONS:
+        delays: List[List[float]] = []
+        slews: List[List[float]] = []
+        final_dir = d0
+        for s in slew_axis:
+            row_d: List[float] = []
+            row_s: List[float] = []
+            for load in load_axis:
+                t = 0.0
+                cur_dir, cur_slew = d0, s
+                for i, (inst, arc, out_ref, in_ref) in enumerate(stages):
+                    outs = arc.sense.output_directions(cur_dir)
+                    if len(outs) != 1 or outs[0] not in arc.timing:
+                        return
+                    d_out = outs[0]
+                    last = i == len(stages) - 1
+                    stage_load = load if last else sta.prop.loads.get(
+                        out_ref)
+                    if stage_load is None:
+                        return
+                    delay, out_slew = arc.delay_and_slew(
+                        d_out, cur_slew, stage_load)
+                    t += delay
+                    cur_slew = out_slew
+                    cur_dir = d_out
+                    if not last:
+                        nxt = stages[i + 1][3]
+                        net_name = sta.design.instances[
+                            inst].connections[arc.pin]
+                        para = sta.parasitics.extract(net_name)
+                        cap = sta.graph.cell_of(nxt).pin(
+                            nxt.pin).capacitance
+                        t += para.wire_delay(nxt, cap)
+                        cur_slew += para.slew_degradation(nxt, cap)
+                row_d.append(t)
+                row_s.append(cur_slew)
+                final_dir = cur_dir
+            delays.append(row_d)
+            slews.append(row_s)
+        timing[final_dir] = ArcTiming(
+            delay=LookupTable2D(tuple(slew_axis), tuple(load_axis), delays),
+            slew=LookupTable2D(tuple(slew_axis), tuple(load_axis), slews),
+        )
+    etm.feedthroughs.append(EtmFeedthroughArc(
+        from_port=from_port,
+        to_port=port,
+        sense=sense,
+        timing=timing,
+        slew_validity=(slew_axis[0], slew_axis[-1]),
+        load_validity=(load_axis[0], load_axis[-1]),
+    ))
+    # The stub cell needs the launching port's sink pin cap even when the
+    # port has no register budgets (a pure feedthrough input).
+    first_in = stages[0][3]
+    entry = etm.ports.setdefault(from_port, EtmPort(name=from_port))
+    if entry.pin_cap is None:
+        entry.pin_cap = sta.graph.cell_of(first_in).pin(
+            first_in.pin).capacitance
+    etm.boundary_pins.setdefault(from_port, str(first_in))
+    etm.boundary_pins.setdefault(port, str(stages[-1][2]))
 
 
 def render_etm(etm: ExtractedTimingModel) -> str:
@@ -158,5 +636,12 @@ def render_etm(etm: ExtractedTimingModel) -> str:
             f"{name:<12} {fmt(p.setup_budget):>13} "
             f"{fmt(p.hold_budget):>12} {fmt(p.clock_to_out):>9} "
             f"{fmt(p.input_cap):>9}"
+        )
+    n_tabled = sum(1 for p in etm.ports.values()
+                   if p.setup_budget_tables or p.clock_to_out_timing)
+    if n_tabled or etm.feedthroughs:
+        lines.append(
+            f"tabulated boundary arcs: {n_tabled} port(s), "
+            f"{len(etm.feedthroughs)} feedthrough(s)"
         )
     return "\n".join(lines)

@@ -95,13 +95,15 @@ def instance_slacks(sta, mode: str = "late") -> Dict[str, float]:
 
 def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
     constraints = sta.constraints
-    clock = constraints.the_clock() if constraints.clocks else None
-    if clock is None:
+    if not constraints.clocks:
         return
     if mode == "late":
         for check in sta.graph.setup_checks():
             clk = sta.prop.at(check.clock_pin, "rise")
             if not clk.valid:
+                continue
+            clock = sta._clock_of_check(check)
+            if clock is None:
                 continue
             clk_early = clk.early + constraints.clock_latency.get(
                 check.instance, 0.0
@@ -120,11 +122,12 @@ def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
                 )
                 key = (check.data_pin, direction)
                 req[key] = min(req.get(key, INF), value)
+        primary = constraints.primary_clock()
         for ref in sta.graph.output_port_refs():
             value = (
-                clock.period
+                primary.period
                 - constraints.output_delays.get(ref.pin, 0.0)
-                - clock.uncertainty_setup
+                - primary.uncertainty_setup
             )
             for direction in DIRECTIONS:
                 key = (ref, direction)
@@ -133,6 +136,9 @@ def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
         for check in sta.graph.hold_checks():
             clk = sta.prop.at(check.clock_pin, "rise")
             if not clk.valid:
+                continue
+            clock = sta._clock_of_check(check)
+            if clock is None:
                 continue
             clk_late = clk.late + constraints.clock_latency.get(
                 check.instance, 0.0

@@ -1,0 +1,170 @@
+"""Tests for hierarchical SoC construction and flattening."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty import make_library
+from repro.netlist.design import PortDirection
+from repro.netlist.generators import aes_like, hierarchical_soc, random_logic
+from repro.netlist.hierarchy import (
+    HierarchicalDesign,
+    feedthrough_block,
+    with_boundary_anchors,
+)
+from repro.sta import STA
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_library()
+
+
+class TestBoundaryAnchors:
+    def test_every_data_port_gets_an_anchor(self):
+        d = with_boundary_anchors(random_logic("blk", seed=5))
+        for port, direction in d.ports.items():
+            if port == "clk":
+                continue
+            name = (f"abuf_{port}" if direction is PortDirection.INPUT
+                    else f"obuf_{port}")
+            assert name in d.instances
+            assert d.instances[name].location == (0.0, 0.0)
+
+    def test_input_anchor_is_the_ports_only_consumer(self, lib):
+        d = with_boundary_anchors(random_logic("blk", seed=5))
+        d.bind(lib)
+        for port, direction in d.ports.items():
+            if port == "clk" or direction is not PortDirection.INPUT:
+                continue
+            loads = d.nets[port].loads
+            assert len(loads) == 1
+            assert loads[0].instance == f"abuf_{port}"
+
+    def test_anchored_block_still_times_cleanly(self, lib):
+        from repro.sta import Constraints
+
+        d = with_boundary_anchors(aes_like("a", n_sboxes=2, seed=3))
+        report = STA(d, lib, Constraints.single_clock(900.0)).run()
+        assert report.wns("setup") > 0
+
+    def test_internal_net_collision_rejected(self):
+        d = random_logic("blk", seed=5)
+        port = next(p for p, dr in d.ports.items()
+                    if dr is PortDirection.INPUT and p != "clk")
+        d.add_instance("clash", "BUF_X1_SVT",
+                       {"A": port, "Z": f"{port}__a"})
+        with pytest.raises(NetlistError, match="already exists"):
+            with_boundary_anchors(d)
+
+
+class TestFeedthroughBlock:
+    def test_channels_and_registered_path(self):
+        d = feedthrough_block(channels=3)
+        for i in range(3):
+            assert f"ft_in{i}" in d.ports and f"ft_out{i}" in d.ports
+            assert f"ftbuf{i}" in d.instances
+        assert "ffd" in d.instances
+        assert d.instances["ffd"].cell_name.startswith("DFF")
+
+
+class TestHierarchicalDesign:
+    def _two_blocks(self):
+        hier = HierarchicalDesign("duo")
+        hier.add_block("b0", with_boundary_anchors(
+            random_logic("rl0", seed=1)), origin=(40.0, 20.0))
+        hier.add_block("b1", with_boundary_anchors(
+            random_logic("rl1", seed=2)), origin=(200.0, 110.0))
+        return hier
+
+    def test_duplicate_block_rejected(self):
+        hier = self._two_blocks()
+        with pytest.raises(NetlistError, match="duplicate"):
+            hier.add_block("b0", random_logic("x", seed=3))
+
+    def test_block_needs_clock_port(self):
+        hier = HierarchicalDesign()
+        from repro.netlist.design import Design
+
+        clockless = Design("nc")
+        clockless.add_port("a", PortDirection.INPUT)
+        with pytest.raises(NetlistError, match="clock port"):
+            hier.add_block("b", clockless)
+
+    def test_connect_validates_directions(self):
+        hier = self._two_blocks()
+        out = hier.free_outputs("b0")[0]
+        inp = hier.free_inputs("b1")[0]
+        hier.connect("b0", out, "b1", inp)
+        with pytest.raises(NetlistError, match="already driven"):
+            hier.connect("b0", out, "b1", inp)
+        with pytest.raises(NetlistError, match="not an output"):
+            hier.connect("b0", hier.free_inputs("b0")[0], "b1",
+                         hier.free_inputs("b1")[0])
+        with pytest.raises(NetlistError, match="clock port"):
+            hier.connect("b0", hier.free_outputs("b0")[0], "b1", "clk")
+
+    def test_flatten_prefixes_and_clock_ports(self):
+        hier = self._two_blocks()
+        out = hier.free_outputs("b0")[0]
+        inp = hier.free_inputs("b1")[0]
+        hier.connect("b0", out, "b1", inp)
+        flat = hier.flatten()
+        assert flat.ports["clk_b0"] is PortDirection.INPUT
+        assert flat.ports["clk_b1"] is PortDirection.INPUT
+        # the linked pair shares one net and exposes no top port
+        assert f"b0_{out}" not in flat.ports
+        assert f"b1_{inp}" not in flat.ports
+        for name, block in hier.blocks.items():
+            for inst in block.design.instances:
+                assert f"{name}_{inst}" in flat.instances
+
+    def test_flatten_translates_locations(self):
+        hier = self._two_blocks()
+        flat = hier.flatten()
+        block = hier.blocks["b1"]
+        inst = next(iter(block.design.instances.values()))
+        ox, oy = block.origin
+        moved = flat.instances[f"b1_{inst.name}"].location
+        assert moved == (inst.location[0] + ox, inst.location[1] + oy)
+
+    def test_flatten_is_deterministic(self):
+        a = self._two_blocks().flatten()
+        b = self._two_blocks().flatten()
+        assert list(a.instances) == list(b.instances)
+        assert {str(k): v.name for k, v in a.nets.items()}.keys() == \
+            {str(k): v.name for k, v in b.nets.items()}.keys()
+
+    def test_top_constraints_one_clock_per_block(self):
+        hier = self._two_blocks()
+        cons = hier.top_constraints(period=800.0, periods={"b1": 640.0})
+        assert set(cons.clocks) == {"clk_b0", "clk_b1"}
+        assert cons.clocks["clk_b0"].period == 800.0
+        assert cons.clocks["clk_b1"].period == 640.0
+        assert cons.clocks["clk_b1"].port == "clk_b1"
+
+
+class TestHierarchicalSocGenerator:
+    def test_needs_two_blocks(self):
+        with pytest.raises(NetlistError):
+            hierarchical_soc(n_blocks=1)
+
+    def test_round_trip_times_cleanly(self, lib):
+        hier = hierarchical_soc(seed=4, n_blocks=3)
+        flat = hier.flatten()
+        cons = hier.top_constraints(period=900.0)
+        report = STA(flat, lib, cons).run()
+        assert report.wns("setup") > 0
+        assert report.wns("hold") > 0
+
+    def test_feedthrough_block_present_and_linked(self):
+        hier = hierarchical_soc(seed=4, n_blocks=3)
+        assert "ft" in hier.blocks
+        dsts = {(l.dst_block, l.dst_port) for l in hier.links}
+        assert ("ft", "ft_in0") in dsts
+        srcs = {(l.src_block, l.src_port) for l in hier.links}
+        assert ("ft", "ft_out0") in srcs
+
+    def test_deterministic_for_seed(self):
+        a = hierarchical_soc(seed=9).flatten()
+        b = hierarchical_soc(seed=9).flatten()
+        assert list(a.instances) == list(b.instances)

@@ -179,3 +179,98 @@ class TestMiniaIntegrationWithSlacks:
             slack_guard=10.0,
         )
         assert report.fix_rate >= 0.8
+
+
+class TestEtmFlatAgreementProperties:
+    """Property tests: ETM boundary predictions vs actual flat analysis.
+
+    The required-time backward pass is independent of input arrivals, so
+    shifting one port's input delay must move the flat per-pin slack at
+    that port by exactly the shift — which is precisely what the ETM
+    budget arithmetic predicts. These are exact equalities, not bounds.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_hold_slack_for_arrival_matches_flat_exactly(self, lib, seed):
+        d = random_logic("hb", n_gates=120, n_levels=6, seed=seed)
+        base = STA(d, lib, Constraints.single_clock(500.0))
+        base.run()
+        etm = extract_etm(base)
+        port = etm.input_ports()[0]
+        arrival = etm.ports[port].hold_budget + 7.0
+        c = Constraints.single_clock(500.0)
+        c.input_delays = {port: arrival}
+        shifted = STA(d, lib, c)
+        shifted.run()
+        req = required_times(shifted, "early")
+        flat = pin_slack(shifted, req, PinRef("", port), "early")
+        assert flat == pytest.approx(
+            etm.hold_slack_for_arrival(port, arrival), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_setup_slack_for_arrival_matches_flat_exactly(self, lib, seed):
+        d = random_logic("sb", n_gates=120, n_levels=6, seed=seed)
+        base = STA(d, lib, Constraints.single_clock(500.0))
+        base.run()
+        etm = extract_etm(base)
+        port = etm.input_ports()[0]
+        arrival = etm.ports[port].setup_budget - 13.0
+        c = Constraints.single_clock(500.0)
+        c.input_delays = {port: arrival}
+        shifted = STA(d, lib, c)
+        shifted.run()
+        req = required_times(shifted, "late")
+        flat = pin_slack(shifted, req, PinRef("", port), "late")
+        assert flat == pytest.approx(
+            etm.setup_slack_for_arrival(port, arrival), abs=1e-9)
+
+    def test_feedthroughs_classified_and_match_flat(self, lib):
+        """Output arcs split correctly: clock-launched paths become
+        clock->out, port-launched paths become feedthroughs whose delay
+        is the flat in->out arrival."""
+        from repro.netlist.hierarchy import feedthrough_block
+
+        d = feedthrough_block(channels=2)
+        sta = STA(d, lib, Constraints.single_clock(600.0))
+        sta.run()
+        etm = extract_etm(sta)
+        assert set(etm.feedthrough_ports()) == {"ft_out0", "ft_out1"}
+        assert etm.ports["ft_out0"].feedthrough_from == "ft_in0"
+        assert "d_out" in etm.output_ports()
+        assert "d_out" not in etm.feedthrough_ports()
+        assert etm.ports["d_out"].clock_to_out is not None
+        for i in range(2):
+            out = PinRef("", f"ft_out{i}")
+            flat_arr = max(
+                sta.prop.at(out, dd).late
+                for dd in ("rise", "fall") if sta.prop.has(out, dd)
+            )
+            assert etm.ports[f"ft_out{i}"].feedthrough_delay == \
+                pytest.approx(flat_arr, abs=1e-9)
+        # the registered path is measured from the clock edge instead:
+        # its clock->out delay is far below the full-period feedthrough
+        # budget frame of reference.
+        assert etm.ports["d_out"].clock_to_out < 600.0
+
+    def test_run_retains_report(self, lib):
+        sta = STA(tiny_design(), lib, Constraints.single_clock(500.0))
+        report = sta.run()
+        assert sta.report is report
+
+    def test_extract_etm_reuses_retained_report(self, lib, monkeypatch):
+        """The extractor bug this PR fixes: extract_etm used to re-run a
+        full STA because run() never stored its report."""
+        calls = []
+        original = STA.run
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(STA, "run", counting)
+        sta = STA(random_logic(n_gates=60, n_levels=4, seed=9), lib,
+                  Constraints.single_clock(500.0))
+        sta.run()
+        assert len(calls) == 1
+        extract_etm(sta)
+        assert len(calls) == 1

@@ -242,3 +242,23 @@ class TestObservability:
         assert rc == 0
         assert "wrote" not in captured.err
         assert list(tmp_path.iterdir()) == []
+
+
+class TestHierSignoff:
+    def test_hier_signoff_exits_clean(self, capsys):
+        rc = main([
+            "signoff", "--hier", "--blocks", "2", "--period", "1100",
+            "--jobs", "2", "--executor", "thread", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "block-internal WNS" in out
+        assert "ETM extractions" in out
+        assert "hier merged WNS" in out
+
+    def test_hier_signoff_reports_violations(self, capsys):
+        rc = main([
+            "signoff", "--hier", "--blocks", "2", "--period", "210",
+            "--jobs", "1", "--executor", "serial", "--seed", "3",
+        ])
+        assert rc == 1
