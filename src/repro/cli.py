@@ -210,6 +210,8 @@ def _cmd_signoff(args) -> int:
 
     if args.hier:
         return _cmd_signoff_hier(args)
+    if args.ssta:
+        return _cmd_signoff_ssta(args)
 
     design, _, constraints = _make_setup(args)
 
@@ -274,6 +276,63 @@ def _cmd_signoff(args) -> int:
     result = outcome.result
     ok = result.merged_wns("setup") >= 0 and result.merged_wns("hold") >= 0
     return EXIT_CLEAN if ok else EXIT_VIOLATIONS
+
+
+def _cmd_signoff_ssta(args) -> int:
+    """``signoff --ssta``: the statistical scenario family.
+
+    Runs the canonical-form SSTA engine per scenario, reports
+    per-endpoint slack distributions, timing yield at the target period
+    and endpoint criticalities, then the PST tuning pass. Exit 0 when
+    every scenario reaches the yield target after tuning, else 1.
+    """
+    from repro.sta.algebra import VariationModel
+    from repro.sta.mcmm import standard_scenario_set
+    from repro.sta.ssta import (
+        monte_carlo_ssta,
+        pst_benchmark_setup,
+        run_ssta,
+        tune_to_yield,
+    )
+
+    if args.ssta_bench:
+        design, library, constraints = pst_benchmark_setup(seed=args.seed)
+    else:
+        design, library, constraints = _make_setup(args)
+    model = VariationModel(rho=args.ssta_rho)
+
+    scenarios = [(library.name, library, constraints)]
+    if args.ssta_corners > 1:
+        def factory(process: str, vdd: float, temp: float):
+            return make_library(
+                LibraryCondition(process=process, vdd=vdd, temp_c=temp)
+            )
+
+        sset = standard_scenario_set(constraints, factory)
+        scenarios = [
+            (s.name, s.library, s.constraints)
+            for s in sset.scenarios[: args.ssta_corners]
+        ]
+
+    exit_code = EXIT_CLEAN
+    with _obs_session(args):
+        for name, lib, cons in scenarios:
+            run = run_ssta(design, lib, cons, model=model,
+                           n_samples=args.ssta_samples)
+            print(f"scenario {name}:")
+            print(run.render())
+            if args.ssta_mc:
+                mc = monte_carlo_ssta(design, lib, cons, model=model,
+                                      n_samples=args.ssta_mc)
+                print(f"  mc yield ({mc.n_samples} samples): "
+                      f"{mc.timing_yield:.4f}")
+            tuned = tune_to_yield(run, target_yield=args.yield_target,
+                                  tune_range=args.tune_range)
+            print(tuned.render())
+            print()
+            if not tuned.achieved:
+                exit_code = EXIT_VIOLATIONS
+    return exit_code
 
 
 def _cmd_signoff_hier(args) -> int:
@@ -549,7 +608,14 @@ def _cmd_query(args) -> int:
 def _cmd_trace_summarize(args) -> int:
     from repro.obs.export import summarize_file
 
-    summary = summarize_file(args.file)
+    try:
+        summary = summarize_file(args.file)
+    except ReproError as exc:
+        # A missing or empty trace file is an operator mistake, not an
+        # internal failure: exit 1 with a one-line message instead of
+        # the generic fatal-error path.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VIOLATIONS
     print(summary.render())
     return 0
 
@@ -614,6 +680,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "time the top level against the stubs")
     p_sig.add_argument("--blocks", type=int, default=3,
                        help="block instance count for --hier (default 3)")
+    p_sig.add_argument("--ssta", action="store_true",
+                       help="statistical signoff: canonical-form SSTA "
+                            "with yield, criticalities and PST tuning")
+    p_sig.add_argument("--ssta-samples", type=int, default=4000,
+                       help="samples for yield/criticality estimation")
+    p_sig.add_argument("--ssta-rho", type=float, default=0.45,
+                       help="correlated fraction of per-arc LVF sigma")
+    p_sig.add_argument("--ssta-corners", type=int, default=1,
+                       help="scenarios from the standard set to run "
+                            "statistically (default: the CLI PVT only)")
+    p_sig.add_argument("--ssta-mc", type=int, default=0, metavar="N",
+                       help="also run an N-sample Monte-Carlo validation "
+                            "pass and print its yield")
+    p_sig.add_argument("--ssta-bench", action="store_true",
+                       help="use the PST benchmark block (period tuned "
+                            "for an interesting failing-die fraction)")
+    p_sig.add_argument("--yield-target", type=float, default=0.99,
+                       help="timing-yield target for PST tuning")
+    p_sig.add_argument("--tune-range", type=float, default=40.0,
+                       help="PST buffer tuning range, ps (+/- around "
+                            "the nominal tap)")
     p_sig.add_argument("--inject-faults", type=int, metavar="SEED",
                        default=None,
                        help="chaos testing: inject a seeded, deterministic "

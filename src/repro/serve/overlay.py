@@ -93,8 +93,9 @@ class DesignOverlay:
         #: Instance names whose objects in the materialized view are
         #: session-private copies (everything else aliases the base).
         self._private: Set[str] = set()
-        self._fingerprint: Optional[str] = None
-        self._fingerprint_version = -1
+        #: Shared fingerprint memo (lazily built — the STA stack is only
+        #: imported once a fingerprint is actually needed).
+        self._fp_memo = None
 
     # ------------------------------------------------------------------ #
     # reads (fall through to base)
@@ -234,13 +235,13 @@ class DesignOverlay:
         daemon needs it on every query, but the view's content can only
         change when :meth:`apply` or :meth:`discard` bumps ``version``.
         """
-        if self._fingerprint is None \
-                or self._fingerprint_version != self.version:
-            from repro.sta.scheduler import design_fingerprint
+        from repro.sta.scheduler import FingerprintMemo, design_fingerprint
 
-            self._fingerprint = design_fingerprint(self.materialize())
-            self._fingerprint_version = self.version
-        return self._fingerprint
+        if self._fp_memo is None:
+            self._fp_memo = FingerprintMemo()
+        return self._fp_memo.get(
+            "design", self.version,
+            lambda: design_fingerprint(self.materialize()))
 
     def materialize(self) -> Design:
         """The session's private, timeable view of the design.

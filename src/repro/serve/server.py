@@ -75,7 +75,11 @@ from repro.serve.admission import AdmissionQueue
 from repro.serve.overlay import OverlayEdit
 from repro.serve.session import Session, SessionManager
 from repro.sta.analysis import STA
-from repro.sta.scheduler import ScenarioResultCache, scenario_fingerprint
+from repro.sta.scheduler import (
+    FingerprintMemo,
+    ScenarioResultCache,
+    scenario_fingerprint,
+)
 
 #: Session id of the shared (sessionless) query context. Not in the
 #: session table — only reachable by omitting ``session`` — and never
@@ -213,11 +217,11 @@ class TimingDaemon:
         self.stack = stack or default_stack()
         # Scenario libraries are bound once for the daemon's lifetime;
         # hashing their full cell tables per query would dominate the
-        # cache-hit path.
-        self._scenario_fps = {
-            name: scenario_fingerprint(s)
-            for name, s in self.scenarios.items()
-        }
+        # cache-hit path. Warmed here so the cost lands at startup.
+        self._fingerprints = FingerprintMemo()
+        for name, s in self.scenarios.items():
+            self._fingerprints.get(name, None,
+                                   lambda s=s: scenario_fingerprint(s))
         self.config = config or DaemonConfig()
         self.journal = journal
         self.fault_injector = fault_injector
@@ -697,7 +701,9 @@ class TimingDaemon:
             self.fault_injector.fire(scenario.name, attempt)
         design = session.overlay.materialize()
         design_fp = session.overlay.content_fingerprint()
-        scenario_fp = self._scenario_fps[scenario.name]
+        scenario_fp = self._fingerprints.get(
+            scenario.name, None,
+            lambda: scenario_fingerprint(scenario))
         key = (design.name, design_fp, scenario_fp)
         cached = self.cache.lookup(*key)
         if cached is not None:

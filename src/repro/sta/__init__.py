@@ -17,9 +17,21 @@ A full STA stack over the netlist + library + parasitics substrates:
 - :mod:`repro.sta.mcmm` — multi-corner multi-mode scenario management;
 - :mod:`repro.sta.scheduler` — parallel multi-corner signoff with
   content-hash result caching;
+- :mod:`repro.sta.algebra` — pluggable timing-value algebras: scalar,
+  canonical first-order (SSTA) and Monte-Carlo sample vectors;
+- :mod:`repro.sta.ssta` — statistical STA: endpoint slack distributions,
+  timing yield and post-silicon-tunable clock buffer selection;
 - :mod:`repro.sta.reports` — timing reports and histograms.
 """
 
+from repro.sta.algebra import (
+    SCALAR,
+    CanonicalAlgebra,
+    MonteCarloAlgebra,
+    ScalarAlgebra,
+    TimingAlgebra,
+    VariationModel,
+)
 from repro.sta.analysis import STA
 from repro.sta.constraints import ClockSpec, Constraints
 from repro.sta.propagation import Derates
@@ -36,14 +48,36 @@ from repro.sta.kernel import (
 )
 from repro.sta.required import instance_slacks, required_times
 from repro.sta.scheduler import (
+    FingerprintMemo,
     ScenarioResultCache,
     SignoffOutcome,
     SignoffScheduler,
     design_fingerprint,
 )
+from repro.sta.ssta import (
+    SstaRun,
+    TuneResult,
+    monte_carlo_ssta,
+    run_ssta,
+    tune_to_yield,
+    yield_vs_tuning_range,
+)
 
 __all__ = [
     "STA",
+    "SCALAR",
+    "CanonicalAlgebra",
+    "MonteCarloAlgebra",
+    "ScalarAlgebra",
+    "TimingAlgebra",
+    "VariationModel",
+    "SstaRun",
+    "TuneResult",
+    "monte_carlo_ssta",
+    "run_ssta",
+    "tune_to_yield",
+    "yield_vs_tuning_range",
+    "FingerprintMemo",
     "ClockSpec",
     "Constraints",
     "Derates",

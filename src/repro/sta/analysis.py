@@ -27,6 +27,7 @@ from repro.errors import TimingError
 from repro.liberty.library import Library
 from repro.netlist.design import Design, PinRef
 from repro.parasitics.synthesis import ParasiticExtractor
+from repro.sta.algebra import SCALAR, TimingAlgebra
 from repro.sta.constraints import Constraints
 from repro.sta.graph import CellEdge, NetEdge, TimingCheck, TimingGraph
 from repro.sta.propagation import (
@@ -58,10 +59,15 @@ class STA:
         derates: Optional[Derates] = None,
         si_enabled: bool = False,
         parasitics: Optional[ParasiticExtractor] = None,
+        algebra: Optional[TimingAlgebra] = None,
     ):
         self.design = design
         self.library = library
         self.constraints = constraints
+        #: The timing-value algebra arrivals/required/slacks live in.
+        #: Scalar floats by default; a statistical algebra turns the same
+        #: engine into SSTA (:mod:`repro.sta.ssta`).
+        self.algebra = algebra or SCALAR
         self.stack = stack or default_stack()
         self.temp_c = temp_c if temp_c is not None else library.temp_c
         self.beol_corner = beol_corner or conventional_corners(self.stack)["typ"]
@@ -94,7 +100,7 @@ class STA:
             si_delta = coupling_deltas(self.graph, self.parasitics)
         self.si_delta = si_delta
         self.prop = propagate(self.graph, self.parasitics, self.derates,
-                              si_delta=si_delta)
+                              si_delta=si_delta, algebra=self.algebra)
         report = TimingReport(
             setup=self._setup_endpoints() + self._output_endpoints(),
             hold=self._hold_endpoints(),

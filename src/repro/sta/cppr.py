@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.design import PinRef
+from repro.sta.algebra import SCALAR
 from repro.sta.graph import NetEdge
 
 
@@ -72,7 +73,7 @@ def cppr_credit(sta, launch_ck: PinRef, capture_ck: PinRef,
     arr = sta.prop.at(common, direction)
     if not arr.valid:
         return 0.0
-    return max(arr.late - arr.early, 0.0)
+    return getattr(sta, "algebra", SCALAR).max(arr.late - arr.early, 0.0)
 
 
 def endpoint_cppr_credit(sta, endpoint) -> float:

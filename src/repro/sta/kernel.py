@@ -55,6 +55,7 @@ from repro.netlist.design import Design, PinRef
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.parasitics.synthesis import ParasiticExtractor
+from repro.sta.algebra import SCALAR
 from repro.sta.analysis import STA
 from repro.sta.constraints import Constraints
 from repro.sta.graph import CellEdge, NetEdge, TimingCheck, TimingGraph
@@ -308,6 +309,7 @@ class CornerView(STA):
         self.graph = _CornerGraph(kernel, ci)
         self.prop = _LazyProp(kernel, ci)
         self.si_delta = kernel.si_delta_for(ci)
+        self.algebra = SCALAR  # kernel batches are always scalar
         self.report: Optional[TimingReport] = None
 
     def run(self) -> TimingReport:

@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.design import PinRef
+from repro.sta.algebra import SCALAR
 from repro.sta.cppr import endpoint_cppr_credit
 from repro.sta.graph import CellEdge, NetEdge
 from repro.sta.propagation import driver_load
@@ -125,10 +126,12 @@ def pba_arrival(sta, path: PathEdges, endpoint_ref: PinRef) -> Tuple[float, floa
         else:
             load = driver_load(sta.graph, sta.parasitics, edge.dst)
             delay, out_slew = edge.arc.delay_and_slew(dst_dir, slew, load)
+            alg = getattr(sta, "algebra", SCALAR)
+            delay = alg.arc_delay(edge, dst_dir, slew, load, "late", delay)
             is_clock = edge.src in sta.graph.clock_pins
             depth = sta.graph.data_depth.get(edge.dst, 1)
-            time += delay * sta.derates.factor(is_clock, "late", depth,
-                                               edge.instance)
+            time = time + delay * sta.derates.factor(is_clock, "late", depth,
+                                                     edge.instance)
             slew = out_slew
     return time, slew
 
@@ -173,7 +176,7 @@ def analyze_endpoint(
     # Enumeration order is heuristic; with a bounded path budget the true
     # worst path may be missed, so never report better-than-GBA by error:
     # PBA >= GBA always holds per-path, so clamp from below.
-    worst_pba = max(worst_pba, endpoint.slack)
+    worst_pba = getattr(sta, "algebra", SCALAR).max(worst_pba, endpoint.slack)
     return PbaEndpointResult(
         endpoint=endpoint.endpoint,
         gba_slack=endpoint.slack,

@@ -9,6 +9,12 @@ whether the edge lies on the clock or data network.
 The worst-slew merging performed here is exactly the pessimism that
 path-based analysis (:mod:`repro.sta.pba`) removes by re-propagating
 path-specific slews.
+
+Arrival values live in a pluggable timing algebra
+(:mod:`repro.sta.algebra`): plain floats by default, canonical forms or
+Monte-Carlo sample vectors for statistical analysis. Merging (max/min)
+and delay lifting go through the algebra; unset sentinels are float
+``+/-inf`` in every mode.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.errors import TimingError
 from repro.liberty.aocv import AocvTable
 from repro.netlist.design import PinRef
 from repro.parasitics.synthesis import ParasiticExtractor
+from repro.sta.algebra import SCALAR, TimingAlgebra
 from repro.sta.graph import CellEdge, NetEdge, TimingGraph
 
 INF = math.inf
@@ -85,17 +92,19 @@ class Arrival:
         return self.late > -INF
 
     def offer_late(self, time: float, slew: float,
-                   pred: Optional[Tuple[object, Direction]]) -> None:
-        if time > self.late:
-            self.late = time
+                   pred: Optional[Tuple[object, Direction]],
+                   alg: TimingAlgebra = SCALAR) -> None:
+        if not alg.le(time, self.late):
             self.pred_late = pred
+        self.late = alg.max(self.late, time)
         self.slew_late = max(self.slew_late, slew)
 
     def offer_early(self, time: float, slew: float,
-                    pred: Optional[Tuple[object, Direction]]) -> None:
-        if time < self.early:
-            self.early = time
+                    pred: Optional[Tuple[object, Direction]],
+                    alg: TimingAlgebra = SCALAR) -> None:
+        if not alg.le(self.early, time):
             self.pred_early = pred
+        self.early = alg.min(self.early, time)
         if self.slew_early == 0.0:
             self.slew_early = slew
         else:
@@ -139,6 +148,7 @@ def propagate(
     parasitics: ParasiticExtractor,
     derates: Derates = Derates(),
     si_delta: Optional[Dict[str, float]] = None,
+    algebra: TimingAlgebra = SCALAR,
 ) -> PropagationResult:
     """Run the forward GBA pass.
 
@@ -149,6 +159,8 @@ def propagate(
         si_delta: optional per-net coupling delta delay (ps), added to late
             wire delays and subtracted from early ones
             (:mod:`repro.sta.si` computes it).
+        algebra: the timing-value algebra arrivals live in. The scalar
+            default reproduces the pre-algebra engine bit-for-bit.
 
     Returns:
         A :class:`PropagationResult`.
@@ -180,14 +192,16 @@ def propagate(
     for ref in graph.topo_order:
         for edge in graph.in_edges.get(ref, []):
             if isinstance(edge, NetEdge):
-                _propagate_net_edge(graph, parasitics, result, edge, si_delta)
+                _propagate_net_edge(graph, parasitics, result, edge, si_delta,
+                                    algebra)
             else:
-                _propagate_cell_edge(graph, parasitics, result, edge, derates)
+                _propagate_cell_edge(graph, parasitics, result, edge, derates,
+                                     algebra)
     return result
 
 
 def _propagate_net_edge(graph, parasitics, result, edge: NetEdge,
-                        si_delta) -> None:
+                        si_delta, alg: TimingAlgebra = SCALAR) -> None:
     para = parasitics.extract(edge.net_name)
     pin_cap = _sink_pin_cap(graph, edge.sink)
     base_delay = para.wire_delay(edge.sink, pin_cap)
@@ -200,14 +214,15 @@ def _propagate_net_edge(graph, parasitics, result, edge: NetEdge,
         dst = result.at(edge.sink, direction)
         if src.late > -INF:
             dst.offer_late(src.late + base_delay + delta,
-                           src.slew_late + degrade, (edge, direction))
+                           src.slew_late + degrade, (edge, direction), alg)
         if src.early < INF:
             dst.offer_early(src.early + max(base_delay - delta, 0.0),
-                            src.slew_early + degrade, (edge, direction))
+                            src.slew_early + degrade, (edge, direction), alg)
 
 
 def _propagate_cell_edge(graph, parasitics, result, edge: CellEdge,
-                         derates: Derates) -> None:
+                         derates: Derates,
+                         alg: TimingAlgebra = SCALAR) -> None:
     from repro.liberty.arcs import TimingType
 
     src_ref, dst_ref = edge.src, edge.dst
@@ -232,6 +247,10 @@ def _propagate_cell_edge(graph, parasitics, result, edge: CellEdge,
             d_early, s_early = edge.arc.delay_and_slew(
                 out_dir, src.slew_early, load
             )
+            d_late = alg.arc_delay(edge, out_dir, src.slew_late, load,
+                                   "late", d_late)
+            d_early = alg.arc_delay(edge, out_dir, src.slew_early, load,
+                                    "early", d_early)
             dst = result.at(dst_ref, out_dir)
             dst.offer_late(
                 src.late + skew
@@ -239,6 +258,7 @@ def _propagate_cell_edge(graph, parasitics, result, edge: CellEdge,
                                           edge.instance),
                 s_late,
                 (edge, in_dir),
+                alg,
             )
             dst.offer_early(
                 src.early + skew
@@ -246,6 +266,7 @@ def _propagate_cell_edge(graph, parasitics, result, edge: CellEdge,
                                            edge.instance),
                 s_early,
                 (edge, in_dir),
+                alg,
             )
 
 

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.design import PinRef
+from repro.sta.algebra import scalar_of, sigma_of
 from repro.sta.graph import TimingCheck
 
 
@@ -97,6 +98,18 @@ class EndpointResult:
         return self.slack < 0.0
 
     @property
+    def slack_mean(self) -> float:
+        """The deterministic slack (mean of the distribution when the
+        report came from a statistical algebra, the value itself for
+        plain floats)."""
+        return scalar_of(self.slack)
+
+    @property
+    def slack_sigma(self) -> float:
+        """Slack standard deviation; 0 for scalar analyses."""
+        return sigma_of(self.slack)
+
+    @property
     def category(self) -> str:
         """Path category: reg2reg / in2reg / reg2out / in2out / unknown."""
         if self.launched_from_clock is None:
@@ -129,6 +142,7 @@ class TimingReport:
     scenario: str = ""
 
     def __post_init__(self):
+        # Algebra values order by mean, so one sort serves every domain.
         self.setup.sort(key=lambda e: e.slack)
         self.hold.sort(key=lambda e: e.slack)
 

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import TimingError
 from repro.netlist.design import PinRef
+from repro.sta.algebra import SCALAR
 from repro.sta.graph import CellEdge, NetEdge
 from repro.sta.propagation import DIRECTIONS, driver_load
 
@@ -37,10 +38,11 @@ def required_times(sta, mode: str = "late") -> Dict[ReqKey, float]:
         raise TimingError("run() must be called before required-time analysis")
     if mode not in ("late", "early"):
         raise TimingError(f"bad mode {mode!r}")
+    alg = getattr(sta, "algebra", SCALAR)
     req: Dict[ReqKey, float] = {}
-    _seed_endpoints(sta, req, mode)
+    _seed_endpoints(sta, req, mode, alg)
 
-    better = min if mode == "late" else max
+    better = alg.min if mode == "late" else alg.max
     for ref in reversed(sta.graph.topo_order):
         for edge in sta.graph.out_edges.get(ref, []):
             if isinstance(edge, NetEdge):
@@ -53,6 +55,7 @@ def required_times(sta, mode: str = "late") -> Dict[ReqKey, float]:
 def pin_slack(sta, req: Dict[ReqKey, float], ref: PinRef,
               mode: str = "late") -> float:
     """Worst slack at a pin over both directions (inf when unconstrained)."""
+    alg = getattr(sta, "algebra", SCALAR)
     worst = INF
     for direction in DIRECTIONS:
         if not sta.prop.has(ref, direction):
@@ -64,11 +67,11 @@ def pin_slack(sta, req: Dict[ReqKey, float], ref: PinRef,
         if mode == "late":
             if r == INF:
                 continue
-            worst = min(worst, r - arr.late)
+            worst = alg.min(worst, r - arr.late)
         else:
             if r == -INF:
                 continue
-            worst = min(worst, arr.early - r)
+            worst = alg.min(worst, arr.early - r)
     return worst
 
 
@@ -79,6 +82,7 @@ def instance_slacks(sta, mode: str = "late") -> Dict[str, float]:
     fixing, area recovery): an instance with small slack must not be
     slowed down.
     """
+    alg = getattr(sta, "algebra", SCALAR)
     req = required_times(sta, mode)
     out: Dict[str, float] = {}
     for ref in sta.graph.topo_order:
@@ -86,14 +90,15 @@ def instance_slacks(sta, mode: str = "late") -> Dict[str, float]:
             continue
         slack = pin_slack(sta, req, ref, mode)
         current = out.get(ref.instance, INF)
-        out[ref.instance] = min(current, slack)
+        out[ref.instance] = alg.min(current, slack)
     return out
 
 
 # ---------------------------------------------------------------------- #
 
 
-def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
+def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str,
+                    alg=SCALAR) -> None:
     constraints = sta.constraints
     if not constraints.clocks:
         return
@@ -121,7 +126,7 @@ def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
                     - constraints.flat_setup_margin
                 )
                 key = (check.data_pin, direction)
-                req[key] = min(req.get(key, INF), value)
+                req[key] = alg.min(req.get(key, INF), value)
         primary = constraints.primary_clock()
         for ref in sta.graph.output_port_refs():
             value = (
@@ -131,7 +136,7 @@ def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
             )
             for direction in DIRECTIONS:
                 key = (ref, direction)
-                req[key] = min(req.get(key, INF), value)
+                req[key] = alg.min(req.get(key, INF), value)
     else:
         for check in sta.graph.hold_checks():
             clk = sta.prop.at(check.clock_pin, "rise")
@@ -155,7 +160,7 @@ def _seed_endpoints(sta, req: Dict[ReqKey, float], mode: str) -> None:
                     + constraints.flat_hold_margin
                 )
                 key = (check.data_pin, direction)
-                req[key] = max(req.get(key, -INF), value)
+                req[key] = alg.max(req.get(key, -INF), value)
 
 
 def _relax_net_edge(sta, req, edge: NetEdge, mode: str, better) -> None:
@@ -177,6 +182,7 @@ def _relax_net_edge(sta, req, edge: NetEdge, mode: str, better) -> None:
 def _relax_cell_edge(sta, req, edge: CellEdge, mode: str, better) -> None:
     from repro.liberty.arcs import TimingType
 
+    alg = getattr(sta, "algebra", SCALAR)
     load = driver_load(sta.graph, sta.parasitics, edge.dst)
     is_clock = edge.src in sta.graph.clock_pins
     depth = sta.graph.data_depth.get(edge.dst, 1)
@@ -195,6 +201,7 @@ def _relax_cell_edge(sta, req, edge: CellEdge, mode: str, better) -> None:
             if dst_req is None or math.isinf(dst_req):
                 continue
             delay, _ = edge.arc.delay_and_slew(out_dir, slew, load)
+            delay = alg.arc_delay(edge, out_dir, slew, load, mode, delay)
             delay = skew + delay * sta.derates.factor(
                 is_clock, mode, depth, edge.instance
             )

@@ -175,6 +175,50 @@ def scenario_fingerprint(scenario) -> str:
     )
 
 
+class FingerprintMemo:
+    """Token-validated memo for content fingerprints.
+
+    The daemon memoizes scenario fingerprints (libraries are bound once
+    for its lifetime) and session overlays memoize their design
+    fingerprint (valid until the commit version moves). Both are the
+    same pattern — cache the digest next to a validity token, recompute
+    only when the token changes — so both share this helper instead of
+    carrying their own ``_fp``/``_fp_version`` field pairs.
+
+    ``get`` compares tokens by equality, so a commit counter, a bind
+    timestamp or ``None`` (compute-once) all work. The scheduler's
+    per-run recomputation is deliberately *not* routed through a memo:
+    a library mutated in place must miss the result cache, which only
+    works if its fingerprint is re-hashed every run.
+    """
+
+    def __init__(self):
+        self._entries: Dict[object, Tuple[object, str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, token, compute) -> str:
+        """The fingerprint for ``key``, recomputed iff ``token`` moved."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == token:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        fp = compute()
+        self._entries[key] = (token, fp)
+        return fp
+
+    def invalidate(self, key=None) -> None:
+        """Drop one entry, or every entry when ``key`` is omitted."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 # ---------------------------------------------------------------------- #
 # result cache
 

@@ -1,0 +1,125 @@
+"""The shared fingerprint memo: token-validated caching of content
+digests, and its two production users (session overlays, the daemon's
+scenario fingerprints)."""
+
+import pytest
+
+from repro.liberty import make_library
+from repro.netlist.generators import random_logic
+from repro.serve.overlay import DesignOverlay, OverlayEdit
+from repro.sta.scheduler import (
+    FingerprintMemo,
+    design_fingerprint,
+    scenario_fingerprint,
+)
+
+
+class TestFingerprintMemo:
+    def test_caches_under_stable_token(self):
+        memo = FingerprintMemo()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "digest-a"
+
+        assert memo.get("k", 7, compute) == "digest-a"
+        assert memo.get("k", 7, compute) == "digest-a"
+        assert len(calls) == 1
+        assert memo.hits == 1 and memo.misses == 1
+        assert len(memo) == 1
+
+    def test_token_move_recomputes(self):
+        memo = FingerprintMemo()
+        assert memo.get("k", 1, lambda: "one") == "one"
+        assert memo.get("k", 2, lambda: "two") == "two"
+        # Stale tokens are not kept around: going back recomputes too.
+        assert memo.get("k", 1, lambda: "one-again") == "one-again"
+        assert memo.misses == 3 and memo.hits == 0
+
+    def test_none_token_means_compute_once(self):
+        memo = FingerprintMemo()
+        memo.get("s1", None, lambda: "fp1")
+        assert memo.get("s1", None, lambda: pytest.fail("recomputed")) \
+            == "fp1"
+
+    def test_keys_are_independent(self):
+        memo = FingerprintMemo()
+        memo.get("a", 0, lambda: "fa")
+        memo.get("b", 0, lambda: "fb")
+        assert memo.get("a", 0, lambda: "x") == "fa"
+        assert memo.get("b", 0, lambda: "x") == "fb"
+        assert len(memo) == 2
+
+    def test_invalidate(self):
+        memo = FingerprintMemo()
+        memo.get("a", 0, lambda: "fa")
+        memo.get("b", 0, lambda: "fb")
+        memo.invalidate("a")
+        assert len(memo) == 1
+        assert memo.get("a", 0, lambda: "fa2") == "fa2"
+        memo.invalidate()
+        assert len(memo) == 0
+
+
+class TestOverlayFingerprint:
+    """The overlay memoizes its design fingerprint through the shared
+    helper, keyed by commit version."""
+
+    @pytest.fixture()
+    def overlay(self):
+        design = random_logic(name="fpd", n_gates=40, n_levels=5, seed=2)
+        return DesignOverlay(design, "s0")
+
+    def test_memoized_per_version(self, overlay):
+        fp1 = overlay.content_fingerprint()
+        fp2 = overlay.content_fingerprint()
+        assert fp1 == fp2
+        assert overlay._fp_memo.hits == 1
+        assert overlay._fp_memo.misses == 1
+        assert fp1 == design_fingerprint(overlay.materialize())
+
+    def test_apply_bumps_version_and_fingerprint(self, overlay):
+        before = overlay.content_fingerprint()
+        inst = sorted(overlay.base.instances)[0]
+        current = overlay.cell_of(inst)
+        alt = next(name for name in make_library().cells
+                   if name != current and name.split("_")[0]
+                   == current.split("_")[0])
+        overlay.apply([OverlayEdit("set_cell", inst, alt)])
+        after = overlay.content_fingerprint()
+        assert after != before
+        assert overlay._fp_memo.misses == 2
+
+    def test_discard_restores_base_fingerprint(self, overlay):
+        base_fp = overlay.content_fingerprint()
+        inst = sorted(overlay.base.instances)[0]
+        current = overlay.cell_of(inst)
+        alt = next(name for name in make_library().cells
+                   if name != current and name.split("_")[0]
+                   == current.split("_")[0])
+        overlay.apply([OverlayEdit("set_cell", inst, alt)])
+        assert overlay.content_fingerprint() != base_fp
+        overlay.discard()
+        assert overlay.content_fingerprint() == base_fp
+
+
+class TestDaemonScenarioFingerprints:
+    def test_daemon_warms_the_memo_at_startup(self):
+        from repro.serve.server import TimingDaemon
+        from repro.sta.constraints import Constraints
+        from repro.sta.mcmm import Scenario
+
+        design = random_logic(name="fps", n_gates=30, n_levels=4, seed=3)
+        cons = Constraints.single_clock(800.0)
+        lib = make_library()
+        scenarios = [
+            Scenario("tt_typ", lib, cons),
+            Scenario("tt_cw", lib, cons, beol_corner_name="cw"),
+        ]
+        daemon = TimingDaemon(design, scenarios)
+        assert len(daemon._fingerprints) == 2
+        for s in scenarios:
+            assert daemon._fingerprints.get(
+                s.name, None, lambda: pytest.fail("not warmed")) \
+                == scenario_fingerprint(s)

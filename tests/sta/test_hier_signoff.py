@@ -50,6 +50,39 @@ class TestMultiClockEngine:
             checked[block] += 1
         assert checked["b0"] > 0 and checked["b1"] > 0
 
+    def test_three_domain_capture_resolution(self, lib):
+        """Three clock domains, each with its own period: every setup
+        endpoint must capture against its *own* domain's clock, so
+        shifting two domains by different deltas moves exactly those
+        domains' slacks by exactly their delta — and a re-run restoring
+        one period undoes only that domain's shift."""
+        hier = hierarchical_soc(seed=3, n_blocks=3, with_feedthrough=False)
+        flat = hier.flatten()
+        base = STA(flat, lib, hier.top_constraints(period=800.0)).run()
+        deltas = {"b0": 0.0, "b1": 160.0, "b2": 240.0}
+        skewed = STA(flat, lib, hier.top_constraints(
+            period=800.0,
+            periods={"b1": 800.0 - deltas["b1"],
+                     "b2": 800.0 - deltas["b2"]})).run()
+        half = STA(flat, lib, hier.top_constraints(
+            period=800.0, periods={"b2": 800.0 - deltas["b2"]})).run()
+        checked = {"b0": 0, "b1": 0, "b2": 0}
+        for e in base.endpoints("setup"):
+            if e.kind != "setup":
+                continue
+            block = e.endpoint.instance.split("_", 1)[0]
+            assert skewed.slack_of(e.endpoint, "setup") == pytest.approx(
+                e.slack - deltas[block], abs=1e-6)
+            assert half.slack_of(e.endpoint, "setup") == pytest.approx(
+                e.slack - (deltas["b2"] if block == "b2" else 0.0),
+                abs=1e-6)
+            checked[block] += 1
+        assert all(count > 0 for count in checked.values())
+        # Hold checks are same-cycle: immune to every period change.
+        for e in base.endpoints("hold"):
+            assert skewed.slack_of(e.endpoint, "hold") == pytest.approx(
+                e.slack, abs=1e-6)
+
     def test_primary_clock_selection(self):
         a = ClockSpec(name="a", period=500.0, port="a")
         b = ClockSpec(name="b", period=600.0, port="b")

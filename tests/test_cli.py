@@ -226,12 +226,26 @@ class TestObservability:
         assert "closure" in out and "retime" in out
         assert "span(s)" in out
 
-    def test_trace_summarize_missing_file_is_structured_error(
+    def test_trace_summarize_missing_file_exits_one(
             self, tmp_path, capsys):
+        """A missing trace file is an operator mistake, not an internal
+        failure: exit 1 with a one-line message, not the fatal path."""
         rc = main(["trace", "summarize", str(tmp_path / "absent.json")])
         captured = capsys.readouterr()
-        assert rc == 4
-        assert "error:" in captured.err
+        assert rc == 1
+        assert captured.err.startswith("error:")
+        assert "cannot read trace file" in captured.err
+        assert "absent.json" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_trace_summarize_empty_file_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace.json"
+        empty.write_text("")
+        rc = main(["trace", "summarize", str(empty)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith("error:")
+        assert "empty" in captured.err
 
     def test_untraced_run_writes_nothing(self, tmp_path, capsys):
         rc = main([
@@ -262,3 +276,28 @@ class TestHierSignoff:
             "--jobs", "1", "--executor", "serial", "--seed", "3",
         ])
         assert rc == 1
+
+
+class TestSstaSignoff:
+    def test_ssta_bench_tunes_to_target(self, capsys):
+        """The PST benchmark through the CLI: distributional report, MC
+        cross-check, tuning reaches the default yield target (exit 0)."""
+        rc = main([
+            "signoff", "--ssta", "--ssta-bench", "--seed", "9",
+            "--ssta-samples", "2000", "--ssta-mc", "500",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "yield" in out and "sigma" in out
+        assert "mc yield (500 samples)" in out
+        assert "pst tuning" in out and "target met" in out
+
+    def test_ssta_unreachable_target_exits_one(self, capsys):
+        rc = main([
+            "signoff", "--ssta", "--ssta-bench", "--seed", "9",
+            "--ssta-samples", "1000", "--yield-target", "1.0",
+            "--tune-range", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "target missed" in out
