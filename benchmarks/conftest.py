@@ -10,6 +10,7 @@ import pathlib
 import pytest
 
 from repro.liberty import LibraryCondition, make_library
+from repro.obs import write_artifact
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -17,11 +18,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def record_table():
     """record_table(name, text): print and persist a result table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, text: str) -> None:
         print(f"\n=== {name} ===\n{text}\n")
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        write_artifact(RESULTS_DIR / f"{name}.txt", text)
 
     return _record
 

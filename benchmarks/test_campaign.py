@@ -1,0 +1,177 @@
+"""The Fig-9-style campaign: a factorial signoff sweep with durable
+results, SIGKILL survival, and learned triage.
+
+Section 4 of the paper frames timing closure as a methodology search —
+margins, aging corners, derates, and closure recipes traded against
+power, area, and violations. This benchmark runs the built-in 288-config
+campaign (3 SoC blocks x 3 periods x 4 recipes x PST on/off x 2 margins
+x 2 derates) end to end and gates the subsystem's acceptance claims:
+
+1. every configuration completes under the supervised executor and
+   lands in the SQLite results DB;
+2. a SIGKILL mid-sweep loses nothing that committed — resume recomputes
+   exactly the difference (count-based assertions, never wall-clock);
+3. learned triage (ridge surrogate over factor levels + timing-graph
+   probe features) recovers >= 80% of the true Pareto front while
+   spending <= 50% of the full-signoff budget.
+
+The recovered Pareto front (power/area/TNS, the paper's Fig 9 axes) and
+the triage scorecard are persisted under ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, once
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignStore,
+    DEFAULT_AXES,
+    demo_spec,
+    front_recall,
+    pareto_front,
+    render_front,
+)
+from repro.obs import format_table
+from repro.runtime.supervisor import RetryPolicy
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+JOBS = max(2, min(4, (os.cpu_count() or 2)))
+BUDGET, TRAIN = 0.5, 0.3
+RECALL_FLOOR = 0.8
+
+FACTOR_COLS = ("block", "period", "recipe", "tune_tau", "margin_ps",
+               "derate_late")
+
+
+def spec():
+    return demo_spec()  # 288 configs, the CLI default sweep
+
+
+def db_count(path, campaign):
+    if not path.exists():
+        return 0
+    with CampaignStore(path) as store:
+        return store.count(campaign)
+
+
+def make_runner(store):
+    return CampaignRunner(
+        spec(), store, jobs=JOBS, executor="process", chunk=16,
+        policy=RetryPolicy(retries=1, backoff_s=0.1),
+    )
+
+
+def test_campaign_sweep_survives_sigkill_and_triage_recalls_front(
+        benchmark, record_table):
+    campaign_spec = spec()
+    total = campaign_spec.size
+    assert total >= 200  # the acceptance floor on campaign scale
+
+    db_path = RESULTS_DIR / "campaign.db"
+    db_path.unlink(missing_ok=True)
+
+    # -- phase 1: start the full sweep via the CLI, SIGKILL it mid-run.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run",
+            "--db", str(db_path),
+            "--jobs", str(JOBS), "--executor", "process",
+            "--chunk", "16", "--retries", "1",
+        ],
+        cwd=str(REPO_ROOT), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 300.0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished early: resume still asserts exactness
+            if db_count(db_path, campaign_spec.name) >= 16:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=60)
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("campaign subprocess committed nothing in 300 s")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+
+    done_before = db_count(db_path, campaign_spec.name)
+    assert 1 <= done_before <= total
+
+    # -- phase 2: resume to completion under pytest-benchmark timing.
+    def resume():
+        with CampaignStore(db_path) as store:
+            return make_runner(store).run()
+
+    outcome = once(benchmark, resume)
+    assert outcome.ok, outcome.render()
+    assert len(outcome.resumed) == done_before  # exact resume
+    assert len(outcome.computed) == total - done_before
+
+    with CampaignStore(db_path) as store:
+        assert store.count(campaign_spec.name) == total  # all persisted
+        rows = store.rows(campaign_spec.name, status="ok")
+    assert len(rows) == total
+    assert all(r["power_mw"] is not None and r["tns"] is not None
+               for r in rows)
+
+    front = pareto_front(rows, DEFAULT_AXES)
+    assert front  # a 288-config tradeoff space has a nonempty front
+    record_table("campaign_pareto", render_front(
+        rows, DEFAULT_AXES, factors=FACTOR_COLS,
+        title=(f"campaign {campaign_spec.name}: Fig-9 Pareto front "
+               f"({total} configs, {JOBS} workers)"),
+    ))
+
+    # -- phase 3: learned triage against the full sweep's ground truth.
+    triage_db = RESULTS_DIR / "campaign_triage.db"
+    triage_db.unlink(missing_ok=True)
+    with CampaignStore(triage_db) as store:
+        triage = make_runner(store).run_triaged(
+            budget=BUDGET, train=TRAIN)
+        recovered = {
+            row["fingerprint"]
+            for row in store.rows(campaign_spec.name, status="ok")
+        }
+        predictions = store.predictions(campaign_spec.name)
+
+    spent = len(triage.ran)
+    assert spent <= int(BUDGET * total)  # <= 50% of the signoff budget
+    assert spent + triage.predicted == total
+    assert len(predictions) == triage.predicted
+
+    recall = front_recall(front, recovered)
+    record_table("campaign_triage", format_table(
+        ["metric", "value"],
+        [
+            ["configs", total],
+            ["true front", len(front)],
+            ["signoffs spent", spent],
+            ["budget", f"{BUDGET:.0%}"],
+            ["training wave", len(triage.trained_on)],
+            ["prioritized", len(triage.prioritized)],
+            ["surrogate-only", triage.predicted],
+            ["front recall", f"{recall:.3f}"],
+        ],
+        title="learned triage vs full-sweep ground truth",
+        notes=[f"gate: recall >= {RECALL_FLOOR} at <= {BUDGET:.0%} "
+               f"of the full-signoff budget"],
+    ))
+    assert recall >= RECALL_FLOOR, (
+        f"triage recalled {recall:.3f} of the {len(front)}-config "
+        f"true front with {spent} signoffs"
+    )

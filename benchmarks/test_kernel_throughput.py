@@ -20,6 +20,7 @@ import time
 from conftest import once
 
 from repro.beol.corners import conventional_corners
+from repro.obs import format_table
 from repro.beol.stack import default_stack
 from repro.liberty.aocv import AocvTable
 from repro.netlist.generators import aes_like
@@ -101,29 +102,27 @@ def test_vector_kernel_multicorner_throughput(benchmark, lib_factory,
     rows = once(benchmark, run)
 
     stats = rows[-1][-1]
-    lines = [
-        f"workload: aes_like {N_SBOXES}x{SBOX_GATES} "
-        f"({stats['pins']} timing pins, {stats['levels']} levels, "
-        f"{int(stats['net_expansions'] + stats['cell_expansions'])} "
-        f"expanded edges) @ {PERIOD_PS:.0f} ps",
-        f"{'corners':>7} {'ref wall (s)':>13} {'compile (s)':>12} "
-        f"{'batch (s)':>10} {'wall x':>7} {'work x':>8}",
-    ]
-    for count, t_ref, t_compile, t_batch, work, _ in rows:
-        wall_x = t_ref / max(t_compile + t_batch, 1e-9)
-        lines.append(
-            f"{count:>7} {t_ref:>13.3f} {t_compile:>12.3f} "
-            f"{t_batch:>10.3f} {wall_x:>6.1f}x {work:>7.1f}x"
-        )
-    lines += [
-        "",
-        "work x = scalar edge visits the reference engines would make "
-        "(corners x expansions)",
-        "         over batched level ops issued; wall x is recorded, "
-        "work x is asserted (>= "
-        f"{MIN_WORK_RATIO:.0f}x).",
-    ]
-    record_table("kernel_throughput", "\n".join(lines))
+    record_table("kernel_throughput", format_table(
+        ["corners", "ref wall (s)", "compile (s)", "batch (s)",
+         "wall x", "work x"],
+        [[count, t_ref, t_compile, t_batch,
+          f"{t_ref / max(t_compile + t_batch, 1e-9):.1f}x",
+          f"{work:.1f}x"]
+         for count, t_ref, t_compile, t_batch, work, _ in rows],
+        title=(
+            f"workload: aes_like {N_SBOXES}x{SBOX_GATES} "
+            f"({stats['pins']} timing pins, {stats['levels']} levels, "
+            f"{int(stats['net_expansions'] + stats['cell_expansions'])} "
+            f"expanded edges) @ {PERIOD_PS:.0f} ps"
+        ),
+        notes=[
+            "work x = scalar edge visits the reference engines would "
+            "make (corners x expansions)",
+            "over batched level ops issued; wall x is recorded, "
+            f"work x is asserted (>= {MIN_WORK_RATIO:.0f}x).",
+        ],
+        precision=3,
+    ))
 
     # The asserted throughput gate: >= 10x multi-corner signoff work
     # reduction at every batched corner count, deterministically.

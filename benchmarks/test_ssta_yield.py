@@ -19,6 +19,7 @@ only residual.
 
 from conftest import once
 
+from repro.obs import format_table
 from repro.sta.ssta import (
     pst_benchmark_setup,
     run_ssta,
@@ -39,18 +40,16 @@ def test_yield_vs_tuning_range(benchmark, record_table):
 
     ssta, results = once(benchmark, run)
 
-    lines = [
-        f"PST recovery on pstblk9 (period {ssta.period:.1f} ps, "
-        f"{len(ssta.endpoints)} setup endpoints, "
-        f"{N_SAMPLES} dies, target yield {TARGET:.3f})",
-        f"{'tau (ps)':>9} {'yield':>8} {'buffers':>8} {'gain':>8}",
-    ]
-    for r in results:
-        lines.append(
-            f"{r.tune_range:9.1f} {r.tuned_yield:8.4f} "
-            f"{len(r.selected):8d} {r.yield_gain:8.4f}"
-        )
-    record_table("ssta_yield", "\n".join(lines))
+    record_table("ssta_yield", format_table(
+        ["tau (ps)", "yield", "buffers", "gain"],
+        [[r.tune_range, r.tuned_yield, len(r.selected), r.yield_gain]
+         for r in results],
+        title=(
+            f"PST recovery on pstblk9 (period {ssta.period:.1f} ps, "
+            f"{len(ssta.endpoints)} setup endpoints, "
+            f"{N_SAMPLES} dies, target yield {TARGET:.3f})"
+        ),
+    ))
 
     ys = [r.tuned_yield for r in results]
     # Untuned silicon fails; a wide-enough range recovers nearly all of

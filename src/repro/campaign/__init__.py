@@ -1,0 +1,100 @@
+"""Campaign engine: factorial signoff sweeps with a results DB,
+Pareto-front decision support, and learned triage.
+
+The paper's closing argument (Sections 4-5) is that timing closure is
+no longer a single signoff but a *design space*: margins, aging
+corners, derates, closure recipes and PST budgets trade power and area
+against slack, and the methodology question is which configurations to
+sign off at all. This package makes that loop a first-class subsystem:
+
+- :mod:`~repro.campaign.spec` — declarative factorial designs with
+  content-fingerprinted, seed-stable configurations;
+- :mod:`~repro.campaign.runner` — dispatch through the supervised
+  runtime (or a warm timing daemon), chunked for SIGKILL-safe resume;
+- :mod:`~repro.campaign.store` — the append-only SQLite results DB;
+- :mod:`~repro.campaign.pareto` — Fig-9-style front extraction and
+  rendering over user-chosen axes;
+- :mod:`~repro.campaign.surrogate` — dependency-free learned triage
+  (ridge / k-NN over factor levels + timing-graph probe features);
+- :mod:`~repro.campaign.blocks` — the deterministic synthetic SoC
+  blocks campaigns sweep, plus their cached probe features.
+"""
+
+from repro.campaign.blocks import (
+    block_names,
+    build_block,
+    probe_features,
+)
+from repro.campaign.pareto import (
+    Axis,
+    DEFAULT_AXES,
+    front_recall,
+    nondomination_ranks,
+    pareto_front,
+    parse_axes,
+    render_front,
+)
+from repro.campaign.runner import (
+    CampaignOutcome,
+    CampaignRunner,
+    DaemonTarget,
+    DEFAULT_LEVELS,
+    RECIPES,
+    TriageOutcome,
+    demo_spec,
+    resolve_levels,
+    validate_spec,
+)
+from repro.campaign.spec import (
+    CampaignConfig,
+    CampaignSpec,
+    Factor,
+    config_fingerprint,
+    derive_seed,
+    spread_indices,
+)
+from repro.campaign.store import CampaignStore, METRIC_COLUMNS
+from repro.campaign.surrogate import (
+    KnnSurrogate,
+    MODELS,
+    RidgeSurrogate,
+    Surrogate,
+    TARGET_METRICS,
+    triage_order,
+)
+
+__all__ = [
+    "Axis",
+    "CampaignConfig",
+    "CampaignOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
+    "DEFAULT_AXES",
+    "DEFAULT_LEVELS",
+    "DaemonTarget",
+    "Factor",
+    "KnnSurrogate",
+    "METRIC_COLUMNS",
+    "MODELS",
+    "RECIPES",
+    "RidgeSurrogate",
+    "Surrogate",
+    "TARGET_METRICS",
+    "TriageOutcome",
+    "block_names",
+    "build_block",
+    "config_fingerprint",
+    "demo_spec",
+    "derive_seed",
+    "front_recall",
+    "nondomination_ranks",
+    "pareto_front",
+    "parse_axes",
+    "probe_features",
+    "render_front",
+    "resolve_levels",
+    "spread_indices",
+    "triage_order",
+    "validate_spec",
+]

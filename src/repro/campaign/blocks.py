@@ -1,0 +1,168 @@
+"""The campaign's synthetic SoC blocks and their cheap probe features.
+
+Blocks are deterministic: a block name always generates the identical
+netlist (fixed generator seed), so every configuration sweeping that
+block shares one design and the results DB's content fingerprints line
+up across runs and machines.
+
+:func:`probe_features` is the GNN4REL-flavored feature source for the
+learned surrogate: **one** scalar STA plus **one** small canonical-
+algebra SSTA probe per block — depth/fanout histograms, stage-delay
+stats and a criticality sketch — cached per process, so triage pays a
+handful of probes instead of a full sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.errors import CampaignError
+from repro.liberty import LibraryCondition, make_library
+from repro.netlist.design import Design
+from repro.netlist.generators import random_logic
+
+#: Reference probe period per block, ps — tight enough that the probe
+#: sees real criticality structure, independent of the swept periods.
+_PROBE_PERIODS: Dict[str, float] = {}
+
+_BLOCK_BUILDERS: Dict[str, Callable[[], Design]] = {}
+
+
+def _register(name: str, period: float, builder: Callable[[], Design]):
+    _BLOCK_BUILDERS[name] = builder
+    _PROBE_PERIODS[name] = period
+
+
+_register("soc_ctrl", 420.0, lambda: random_logic(
+    name="soc_ctrl", n_inputs=12, n_outputs=12, n_gates=48,
+    n_levels=6, seed=11))
+_register("soc_dsp", 560.0, lambda: random_logic(
+    name="soc_dsp", n_inputs=16, n_outputs=12, n_gates=72,
+    n_levels=9, seed=23))
+_register("soc_bus", 380.0, lambda: random_logic(
+    name="soc_bus", n_inputs=14, n_outputs=14, n_gates=56,
+    n_levels=5, seed=37))
+
+
+def block_names() -> List[str]:
+    return sorted(_BLOCK_BUILDERS)
+
+
+def build_block(name: str) -> Design:
+    """Generate one named block (always the identical netlist)."""
+    builder = _BLOCK_BUILDERS.get(name)
+    if builder is None:
+        raise CampaignError(
+            f"unknown block {name!r}", blocks=",".join(block_names())
+        )
+    return builder()
+
+
+def probe_period(name: str) -> float:
+    if name not in _PROBE_PERIODS:
+        raise CampaignError(f"unknown block {name!r}")
+    return _PROBE_PERIODS[name]
+
+
+# ---------------------------------------------------------------------- #
+# probe features
+
+_FEATURE_CACHE: Dict[str, Dict[str, float]] = {}
+
+#: Stable feature order (the surrogate's design-feature columns).
+FEATURE_NAMES = (
+    "cells", "nets", "endpoints", "fanout_mean", "fanout_p90",
+    "fanout_max", "depth_stages", "gate_fraction", "probe_wns",
+    "probe_tns", "stage_delay_mean", "sigma_mean", "sigma_p90",
+    "crit_entropy", "probe_yield",
+)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[idx]
+
+
+def probe_features(block: str) -> Dict[str, float]:
+    """Cheap timing-graph features for one block (cached per process).
+
+    Cost: one reference STA and one 256-sample canonical SSTA at the
+    block's probe period on the nominal library — orders of magnitude
+    cheaper than the multi-scenario signoff a real configuration pays.
+    """
+    cached = _FEATURE_CACHE.get(block)
+    if cached is not None:
+        return dict(cached)
+
+    from repro.sta import Constraints
+    from repro.sta.algebra import VariationModel
+    from repro.sta.analysis import STA
+    from repro.sta.ssta import run_ssta
+
+    design = build_block(block)
+    library = make_library(LibraryCondition())
+    period = probe_period(block)
+    constraints = Constraints.single_clock(period)
+    constraints.input_delays = {
+        p: 40.0 for p in design.input_ports() if p != "clk"
+    }
+
+    # Graph shape: fanout histogram over driven nets.
+    fanouts = [
+        float(len(net.loads)) for net in design.nets.values() if net.loads
+    ]
+    if not fanouts:
+        fanouts = [0.0]
+
+    # One scalar STA probe: worst-path depth and stage-delay stats.
+    sta = STA(design, library, constraints)
+    report = sta.run()
+    endpoints = report.endpoints("setup")
+    worst = endpoints[0] if endpoints else None
+    depth = 0.0
+    gate_fraction = 0.0
+    stage_delay_mean = 0.0
+    if worst is not None:
+        path = sta.worst_path(worst)
+        depth = float(path.stage_count)
+        gate_fraction = float(path.gate_delay_fraction())
+        if path.stage_count:
+            # required ~ period, so period - slack ~ worst arrival.
+            stage_delay_mean = float(
+                (period - worst.slack) / max(1.0, depth))
+
+    # One canonical-algebra SSTA probe: sigma and criticality sketch.
+    run = run_ssta(design, library, constraints,
+                   model=VariationModel(), n_samples=256)
+    sigmas = [ep.sigma for ep in run.endpoints]
+    crits = [ep.criticality for ep in run.endpoints if ep.criticality > 0]
+    total = sum(crits)
+    entropy = 0.0
+    if total > 0:
+        for c in crits:
+            p = c / total
+            entropy -= p * math.log(p)
+
+    features = {
+        "cells": float(len(design.instances)),
+        "nets": float(len(design.nets)),
+        "endpoints": float(len(endpoints)),
+        "fanout_mean": sum(fanouts) / len(fanouts),
+        "fanout_p90": _percentile(fanouts, 0.9),
+        "fanout_max": max(fanouts),
+        "depth_stages": depth,
+        "gate_fraction": gate_fraction,
+        "probe_wns": float(report.wns("setup")),
+        "probe_tns": float(report.tns("setup")),
+        "stage_delay_mean": stage_delay_mean,
+        "sigma_mean": sum(sigmas) / len(sigmas) if sigmas else 0.0,
+        "sigma_p90": _percentile(list(sigmas), 0.9),
+        "crit_entropy": entropy,
+        "probe_yield": float(run.timing_yield()),
+    }
+    _FEATURE_CACHE[block] = dict(features)
+    return features

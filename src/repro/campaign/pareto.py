@@ -1,0 +1,177 @@
+"""Pareto-front decision support over campaign results.
+
+The paper's Fig 9 argument: closure choices (aging corner, margin,
+recipe, PST budget) trade power and area against timing slack, and the
+interesting configurations are exactly the non-dominated ones. This
+module extracts that front from recorded campaign rows over user-chosen
+axes, peels full nondomination layers (the surrogate's training target),
+and renders the front as a shared-format table.
+
+An *axis* is ``(metric, direction)``; the default triple is the figure's
+``power_mw``/``area_um2`` minimized with ``tns`` maximized (TNS is
+negative-or-zero: maximizing it prefers less total violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import CampaignError
+from repro.obs.artifacts import format_table
+
+_DIRECTIONS = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One Pareto objective: a row metric and its preferred direction."""
+
+    metric: str
+    direction: str = "min"
+
+    def __post_init__(self):
+        if self.direction not in _DIRECTIONS:
+            raise CampaignError(
+                f"axis {self.metric!r} direction must be min or max, "
+                f"got {self.direction!r}"
+            )
+
+    def key(self, row: Dict[str, Any]) -> Optional[float]:
+        """The row's value on this axis, oriented so smaller is better."""
+        value = row.get(self.metric)
+        if value is None:
+            return None
+        return -float(value) if self.direction == "max" else float(value)
+
+
+DEFAULT_AXES = (
+    Axis("power_mw", "min"),
+    Axis("area_um2", "min"),
+    Axis("tns", "max"),
+)
+
+
+def parse_axes(text: str) -> List[Axis]:
+    """Parse ``metric[:min|max],...`` (CLI ``--axes``); ``min`` default."""
+    axes = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if ":" in chunk:
+            metric, direction = chunk.split(":", 1)
+            axes.append(Axis(metric.strip(), direction.strip()))
+        else:
+            axes.append(Axis(chunk))
+    if not axes:
+        raise CampaignError(f"no axes in {text!r}")
+    return axes
+
+
+def _vector(row: Dict[str, Any],
+            axes: Sequence[Axis]) -> Optional[List[float]]:
+    values = [axis.key(row) for axis in axes]
+    if any(v is None for v in values):
+        return None  # rows missing an axis metric never enter the front
+    return values  # type: ignore[return-value]
+
+
+def _dominates(a: List[float], b: List[float]) -> bool:
+    """True when ``a`` is no worse everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) \
+        and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(rows: Sequence[Dict[str, Any]],
+                 axes: Sequence[Axis] = DEFAULT_AXES) -> List[Dict[str, Any]]:
+    """The non-dominated subset of ``rows``, in input order.
+
+    Duplicate objective vectors are all kept (they tie); rows missing
+    any axis metric are excluded.
+    """
+    scored = [(row, _vector(row, axes)) for row in rows]
+    scored = [(row, vec) for row, vec in scored if vec is not None]
+    front = []
+    for row, vec in scored:
+        if not any(_dominates(other, vec) for _, other in scored):
+            front.append(row)
+    return front
+
+
+def nondomination_ranks(
+    rows: Sequence[Dict[str, Any]],
+    axes: Sequence[Axis] = DEFAULT_AXES,
+) -> Dict[str, int]:
+    """fingerprint -> 0-based nondomination layer (0 = on the front).
+
+    Peels fronts NSGA-style: remove layer 0, re-extract, and so on.
+    Rows missing an axis metric get no rank. O(layers * n^2) — fine for
+    the campaign sizes this repo runs (hundreds to low thousands).
+    """
+    remaining = [
+        (row, _vector(row, axes)) for row in rows
+    ]
+    remaining = [(r, v) for r, v in remaining if v is not None]
+    ranks: Dict[str, int] = {}
+    layer = 0
+    while remaining:
+        # _dominates is irreflexive (strict somewhere), so a layer can
+        # never come out empty and ties all land in the same layer.
+        front_idx = [
+            i for i, (_, vec) in enumerate(remaining)
+            if not any(_dominates(other, vec) for _, other in remaining)
+        ]
+        for i in front_idx:
+            ranks[remaining[i][0]["fingerprint"]] = layer
+        keep = set(range(len(remaining))) - set(front_idx)
+        remaining = [remaining[i] for i in sorted(keep)]
+        layer += 1
+    return ranks
+
+
+def front_recall(truth_front: Iterable[Dict[str, Any]],
+                 recovered_fingerprints: Set[str]) -> float:
+    """Fraction of the ground-truth front present in a recovered set."""
+    fps = [row["fingerprint"] for row in truth_front]
+    if not fps:
+        return 1.0
+    hit = sum(1 for fp in fps if fp in recovered_fingerprints)
+    return hit / len(fps)
+
+
+def render_front(
+    rows: Sequence[Dict[str, Any]],
+    axes: Sequence[Axis] = DEFAULT_AXES,
+    factors: Sequence[str] = (),
+    title: Optional[str] = None,
+    notes: Sequence[str] = (),
+    limit: Optional[int] = None,
+) -> str:
+    """The Fig-9-style decision table: factor levels + axis metrics.
+
+    ``factors`` picks which level columns to show (default: every key
+    seen in the first row's levels). Rows are sorted by the first axis.
+    """
+    front = pareto_front(rows, axes)
+    front.sort(key=lambda r: (_vector(r, axes) or [], r["fingerprint"]))
+    if limit is not None:
+        front = front[:limit]
+    if not front:
+        return (title + "\n" if title else "") + "(empty front)"
+    if not factors:
+        factors = sorted(front[0].get("levels", {}))
+    headers = ["#"] + list(factors) + [axis.metric for axis in axes]
+    table_rows = []
+    for i, row in enumerate(front):
+        levels = row.get("levels", {})
+        table_rows.append(
+            [i] + [levels.get(f) for f in factors]
+            + [row.get(axis.metric) for axis in axes]
+        )
+    dirs = ", ".join(f"{a.metric}:{a.direction}" for a in axes)
+    return format_table(
+        headers, table_rows, title=title,
+        notes=list(notes) + [f"axes: {dirs}; {len(front)} "
+                             f"non-dominated of {len(rows)} rows"],
+    )

@@ -1,0 +1,261 @@
+"""Append-only SQLite results store for campaigns (``campaign.db``).
+
+One database holds any number of campaigns. The ``configs`` table is
+keyed by **content fingerprint** and writes are ``INSERT OR IGNORE``
+with an immediate commit, which gives the durability contract the
+runner leans on:
+
+- *first completion wins* — a retried or duplicated run can never
+  overwrite a recorded result;
+- *every committed row survives SIGKILL* — sqlite's journal makes each
+  commit atomic, so a killed campaign restarts from exactly the set of
+  configs whose results landed;
+- *resume is a set difference* — ``done_fingerprints`` minus the spec's
+  expansion is the remaining work, no timestamps or ordering involved.
+
+Failed (degraded) attempts never enter ``configs`` — they land in the
+append-log ``failures`` table so a resume retries them while the audit
+trail survives.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.errors import CampaignError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    name   TEXT PRIMARY KEY,
+    spec   TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS configs (
+    fingerprint TEXT PRIMARY KEY,
+    campaign    TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    seed        INTEGER NOT NULL,
+    levels      TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    source      TEXT NOT NULL,
+    wall_s      REAL,
+    wns         REAL,
+    tns         REAL,
+    hold_wns    REAL,
+    power_mw    REAL,
+    leakage_mw  REAL,
+    dynamic_mw  REAL,
+    area_um2    REAL,
+    cells       INTEGER,
+    tyield      REAL,
+    pst_buffers INTEGER,
+    eco_edits   INTEGER
+);
+CREATE INDEX IF NOT EXISTS idx_configs_campaign ON configs (campaign);
+CREATE TABLE IF NOT EXISTS scenarios (
+    fingerprint      TEXT NOT NULL,
+    scenario         TEXT NOT NULL,
+    wns_setup        REAL,
+    tns_setup        REAL,
+    violations_setup INTEGER,
+    wns_hold         REAL,
+    tns_hold         REAL,
+    violations_hold  INTEGER,
+    PRIMARY KEY (fingerprint, scenario)
+);
+CREATE TABLE IF NOT EXISTS failures (
+    campaign    TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    error       TEXT,
+    attempts    INTEGER
+);
+CREATE TABLE IF NOT EXISTS predictions (
+    campaign    TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    rank        INTEGER,
+    metrics     TEXT NOT NULL,
+    PRIMARY KEY (campaign, fingerprint)
+);
+"""
+
+#: configs-table metric columns, in schema order (shared by INSERT and
+#: the runner's row assembly).
+METRIC_COLUMNS = (
+    "wall_s", "wns", "tns", "hold_wns", "power_mw", "leakage_mw",
+    "dynamic_mw", "area_um2", "cells", "tyield", "pst_buffers",
+    "eco_edits",
+)
+
+
+class CampaignStore:
+    """One handle on a campaign results database (see module docstring).
+
+    Safe for multi-*process* writers (sqlite locking); one handle should
+    stay on one thread (the runner records from its coordinator thread).
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=30.0)
+        except sqlite3.Error as exc:
+            raise CampaignError(
+                f"cannot open results DB: {exc}", path=self.path
+            ) from None
+        self._conn.row_factory = sqlite3.Row
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writes (each commits immediately; see module docstring)
+
+    def record_spec(self, name: str, spec_json: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO campaigns (name, spec) "
+                "VALUES (?, ?)", (name, spec_json),
+            )
+
+    def record_result(
+        self,
+        config,
+        status: str,
+        metrics: Dict[str, Any],
+        scenario_rows: Sequence[Dict[str, Any]] = (),
+        source: str = "signoff",
+    ) -> bool:
+        """Record one completed config; False when it was already there."""
+        values = [metrics.get(col) for col in METRIC_COLUMNS]
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO configs "
+                "(fingerprint, campaign, idx, seed, levels, status, "
+                f" source, {', '.join(METRIC_COLUMNS)}) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?"
+                + ", ?" * len(METRIC_COLUMNS) + ")",
+                [config.fingerprint, config.campaign, config.index,
+                 config.seed, config.levels_json(), status, source]
+                + values,
+            )
+            if cursor.rowcount == 0:
+                return False
+            for row in scenario_rows:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO scenarios "
+                    "(fingerprint, scenario, wns_setup, tns_setup, "
+                    " violations_setup, wns_hold, tns_hold, "
+                    " violations_hold) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (config.fingerprint, row["scenario"],
+                     row.get("wns_setup"), row.get("tns_setup"),
+                     row.get("violations_setup"), row.get("wns_hold"),
+                     row.get("tns_hold"), row.get("violations_hold")),
+                )
+        return True
+
+    def record_failure(self, config, error: Optional[str],
+                       attempts: int) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO failures "
+                "(campaign, fingerprint, idx, error, attempts) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (config.campaign, config.fingerprint, config.index,
+                 error, attempts),
+            )
+
+    def record_prediction(self, campaign: str, fingerprint: str,
+                          rank: Optional[int],
+                          metrics: Dict[str, Any]) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO predictions "
+                "(campaign, fingerprint, rank, metrics) "
+                "VALUES (?, ?, ?, ?)",
+                (campaign, fingerprint, rank,
+                 json.dumps(metrics, sort_keys=True)),
+            )
+
+    # ------------------------------------------------------------------ #
+    # reads
+
+    def done_fingerprints(self, campaign: str) -> Set[str]:
+        """Fingerprints with a recorded (successful) result."""
+        rows = self._conn.execute(
+            "SELECT fingerprint FROM configs WHERE campaign = ?",
+            (campaign,),
+        )
+        return {row["fingerprint"] for row in rows}
+
+    def rows(self, campaign: str,
+             status: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Config rows (levels JSON-decoded), ordered by design index."""
+        query = "SELECT * FROM configs WHERE campaign = ?"
+        params: List[Any] = [campaign]
+        if status is not None:
+            query += " AND status = ?"
+            params.append(status)
+        query += " ORDER BY idx"
+        out = []
+        for row in self._conn.execute(query, params):
+            record = dict(row)
+            record["levels"] = json.loads(record["levels"])
+            out.append(record)
+        return out
+
+    def scenario_rows(self, fingerprint: str) -> List[Dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT * FROM scenarios WHERE fingerprint = ? "
+            "ORDER BY scenario", (fingerprint,),
+        )
+        return [dict(row) for row in rows]
+
+    def failures(self, campaign: str) -> List[Dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT * FROM failures WHERE campaign = ? ORDER BY rowid",
+            (campaign,),
+        )
+        return [dict(row) for row in rows]
+
+    def predictions(self, campaign: str) -> List[Dict[str, Any]]:
+        out = []
+        for row in self._conn.execute(
+            "SELECT * FROM predictions WHERE campaign = ? ORDER BY rank",
+            (campaign,),
+        ):
+            record = dict(row)
+            record["metrics"] = json.loads(record["metrics"])
+            out.append(record)
+        return out
+
+    def count(self, campaign: str) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM configs WHERE campaign = ?",
+            (campaign,),
+        ).fetchone()
+        return int(row["n"])
+
+    def campaigns(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT campaign FROM configs ORDER BY campaign"
+        )
+        return [row["campaign"] for row in rows]
+
+    def spec_json(self, campaign: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT spec FROM campaigns WHERE name = ?", (campaign,)
+        ).fetchone()
+        return None if row is None else row["spec"]

@@ -1,0 +1,238 @@
+"""Learned triage: a dependency-free surrogate over campaign configs.
+
+GNN4REL's observation, scaled to this repo's budget: most of what a
+full signoff reveals about a configuration is predictable from cheap
+features — the factor levels themselves plus timing-graph probes of the
+block (depth/fanout histograms, stage-delay stats, a criticality sketch
+from one canonical-algebra SSTA run; :mod:`repro.campaign.blocks`).
+
+Two estimators, both closed-form numpy (no sklearn in the container):
+
+- :class:`RidgeSurrogate` — standardized multi-output ridge regression,
+  the default: factor -> metric responses here are smooth (derates,
+  aging, margin shift slack linearly; recipes shift power/area by
+  near-constant offsets per block), which a linear model with one-hot
+  categoricals captures well;
+- :class:`KnnSurrogate` — distance-weighted k-nearest-neighbours in the
+  same feature space, for when responses are non-additive.
+
+:func:`triage_order` turns predictions into a queue: remaining configs
+are scored by the nondomination layer their *predicted* metrics land in
+when pooled with the observed results, so Pareto-relevant configs get
+full signoff first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.pareto import Axis, DEFAULT_AXES, nondomination_ranks
+from repro.campaign.spec import CampaignConfig, CampaignSpec
+from repro.errors import CampaignError
+
+#: The metrics a surrogate learns to predict (superset of any Pareto
+#: axis triple the triage pass might rank on).
+TARGET_METRICS = ("power_mw", "area_um2", "tns", "wns")
+
+FeatureFn = Callable[[Dict[str, Any]], Dict[str, float]]
+
+
+class FeatureSpace:
+    """Maps a level assignment to a fixed numeric feature vector.
+
+    Numeric factors contribute their value directly; categorical
+    factors one-hot over the spec's level menu (so unseen levels are
+    impossible by construction). ``extra`` injects per-config features
+    computed outside the spec — the block probe features.
+    """
+
+    def __init__(self, spec: CampaignSpec,
+                 extra: Optional[FeatureFn] = None):
+        self.extra = extra
+        self.columns: List[Tuple[str, Optional[Any]]] = []
+        self._numeric: Dict[str, bool] = {}
+        for factor in spec.factors:
+            numeric = all(
+                isinstance(level, (int, float))
+                and not isinstance(level, bool)
+                for level in factor.levels
+            )
+            self._numeric[factor.name] = numeric
+            if numeric:
+                self.columns.append((factor.name, None))
+            else:
+                for level in factor.levels:
+                    self.columns.append((factor.name, level))
+        self._extra_names: Optional[List[str]] = None
+
+    def encode(self, levels: Dict[str, Any]) -> np.ndarray:
+        row: List[float] = []
+        for name, level in self.columns:
+            value = levels.get(name)
+            if level is None:  # numeric column
+                row.append(float(value) if value is not None else 0.0)
+            else:  # one-hot column
+                row.append(1.0 if value == level else 0.0)
+        if self.extra is not None:
+            extra = self.extra(levels)
+            if self._extra_names is None:
+                self._extra_names = sorted(extra)
+            row.extend(float(extra.get(k, 0.0))
+                       for k in self._extra_names)
+        return np.asarray(row, dtype=float)
+
+    def matrix(self, assignments: Sequence[Dict[str, Any]]) -> np.ndarray:
+        return np.vstack([self.encode(a) for a in assignments])
+
+
+def _standardize(X: np.ndarray):
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std < 1e-12] = 1.0
+    return (X - mean) / std, mean, std
+
+
+class RidgeSurrogate:
+    """Closed-form multi-output ridge: ``W = (X'X + lam I)^-1 X'Y``."""
+
+    def __init__(self, l2: float = 1e-2):
+        self.l2 = l2
+        self._w: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "RidgeSurrogate":
+        if len(X) == 0:
+            raise CampaignError("cannot fit a surrogate on zero rows")
+        Xs, self._mean, self._std = _standardize(X)
+        Xb = np.hstack([Xs, np.ones((len(Xs), 1))])
+        gram = Xb.T @ Xb + self.l2 * np.eye(Xb.shape[1])
+        gram[-1, -1] -= self.l2  # leave the bias unpenalized
+        self._w = np.linalg.solve(gram, Xb.T @ Y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise CampaignError("surrogate is not fitted")
+        Xs = (X - self._mean) / self._std
+        Xb = np.hstack([Xs, np.ones((len(Xs), 1))])
+        return Xb @ self._w
+
+
+class KnnSurrogate:
+    """Distance-weighted k-NN in the standardized feature space."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise CampaignError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "KnnSurrogate":
+        if len(X) == 0:
+            raise CampaignError("cannot fit a surrogate on zero rows")
+        Xs, self._mean, self._std = _standardize(X)
+        self._X = Xs
+        self._Y = np.asarray(Y, dtype=float)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise CampaignError("surrogate is not fitted")
+        Xs = (X - self._mean) / self._std
+        out = np.empty((len(Xs), self._Y.shape[1]))
+        k = min(self.k, len(self._X))
+        for i, x in enumerate(Xs):
+            d2 = ((self._X - x) ** 2).sum(axis=1)
+            nearest = np.argsort(d2, kind="stable")[:k]
+            weights = 1.0 / (np.sqrt(d2[nearest]) + 1e-9)
+            weights /= weights.sum()
+            out[i] = weights @ self._Y[nearest]
+        return out
+
+
+MODELS = ("ridge", "knn")
+
+
+def make_model(name: str):
+    if name == "ridge":
+        return RidgeSurrogate()
+    if name == "knn":
+        return KnnSurrogate()
+    raise CampaignError(
+        f"unknown surrogate model {name!r}", models=",".join(MODELS)
+    )
+
+
+class Surrogate:
+    """Spec-aware wrapper: rows in, predicted metric dicts out."""
+
+    def __init__(self, spec: CampaignSpec, model: str = "ridge",
+                 extra: Optional[FeatureFn] = None):
+        self.spec = spec
+        self.space = FeatureSpace(spec, extra=extra)
+        self.model = make_model(model)
+        self.metrics: List[str] = []
+
+    def fit(self, rows: Sequence[Dict[str, Any]]) -> "Surrogate":
+        """Train on completed DB rows (needs ``levels`` + metrics)."""
+        usable = [
+            row for row in rows
+            if all(row.get(m) is not None for m in TARGET_METRICS)
+        ]
+        if len(usable) < 2:
+            raise CampaignError(
+                "surrogate needs at least 2 completed configs "
+                f"with {TARGET_METRICS}, got {len(usable)}"
+            )
+        self.metrics = list(TARGET_METRICS)
+        X = self.space.matrix([row["levels"] for row in usable])
+        Y = np.asarray(
+            [[float(row[m]) for m in self.metrics] for row in usable]
+        )
+        self.model.fit(X, Y)
+        return self
+
+    def predict(
+        self, configs: Sequence[CampaignConfig],
+    ) -> List[Dict[str, float]]:
+        if not configs:
+            return []
+        X = self.space.matrix([c.assignment for c in configs])
+        Y = self.model.predict(X)
+        return [
+            {m: float(y[j]) for j, m in enumerate(self.metrics)}
+            for y in Y
+        ]
+
+
+def triage_order(
+    surrogate: Surrogate,
+    completed_rows: Sequence[Dict[str, Any]],
+    remaining: Sequence[CampaignConfig],
+    axes: Sequence[Axis] = DEFAULT_AXES,
+) -> List[Tuple[CampaignConfig, Dict[str, float], int]]:
+    """Rank ``remaining`` by predicted Pareto relevance.
+
+    Pools predicted rows with the observed ones and peels nondomination
+    layers; a config predicted onto (or near) the joint front outranks
+    one predicted deep inside it. Returns ``(config, predicted_metrics,
+    layer)`` sorted best-first; ties break by design index, so the order
+    is deterministic.
+    """
+    predictions = surrogate.predict(remaining)
+    pool: List[Dict[str, Any]] = [
+        {"fingerprint": row["fingerprint"],
+         **{a.metric: row.get(a.metric) for a in axes}}
+        for row in completed_rows
+    ]
+    for config, predicted in zip(remaining, predictions):
+        pool.append({"fingerprint": config.fingerprint, **predicted})
+    ranks = nondomination_ranks(pool, axes)
+    scored = [
+        (config, predicted,
+         ranks.get(config.fingerprint, len(pool)))
+        for config, predicted in zip(remaining, predictions)
+    ]
+    scored.sort(key=lambda item: (item[2], item[0].index))
+    return scored

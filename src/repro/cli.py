@@ -605,6 +605,141 @@ def _cmd_query(args) -> int:
     return EXIT_CLEAN
 
 
+def _load_campaign_spec(args):
+    from repro.campaign import CampaignSpec, demo_spec
+
+    if args.spec_file:
+        from repro.errors import CampaignError
+
+        try:
+            with open(args.spec_file, "r", encoding="utf-8") as fh:
+                spec = CampaignSpec.from_json(fh.read())
+        except OSError as exc:
+            raise CampaignError(
+                f"cannot read campaign spec {args.spec_file!r}: {exc}"
+            ) from exc
+    else:
+        spec = demo_spec()
+    if getattr(args, "fraction", None) is not None:
+        spec.fraction = args.fraction
+    return spec
+
+
+def _campaign_runner(args, spec, store, daemon=None):
+    from repro.campaign import CampaignRunner
+    from repro.runtime import RetryPolicy
+
+    return CampaignRunner(
+        spec, store,
+        jobs=args.jobs,
+        executor=args.executor,
+        policy=RetryPolicy(retries=args.retries,
+                           timeout_s=args.timeout),
+        chunk=args.chunk,
+        daemon=daemon,
+        on_event=lambda msg: print(f"  [supervisor] {msg}",
+                                   file=sys.stderr),
+    )
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import CampaignStore, DaemonTarget
+
+    daemon = None
+    if args.via_daemon:
+        host, _, port = args.via_daemon.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --via-daemon wants HOST:PORT, got "
+                  f"{args.via_daemon!r}", file=sys.stderr)
+            return EXIT_VIOLATIONS
+        # The client-side mirror of the daemon's base design: recipes
+        # and the power/area rollup are computed locally, so the
+        # --design/--period/... flags must match the serving daemon's.
+        design, library, constraints = _make_setup(args)
+        daemon = DaemonTarget(host, int(port), design, library,
+                              constraints)
+    spec = _load_campaign_spec(args)
+    with _obs_session(args):
+        with CampaignStore(args.db) as store:
+            runner = _campaign_runner(args, spec, store, daemon=daemon)
+            configs = spec.expand()
+            if args.configs:
+                configs = configs[:args.configs]
+            outcome = runner.run(configs=configs,
+                                 resume=not args.no_resume)
+            print(outcome.render())
+    return EXIT_DEGRADED if outcome.degraded else EXIT_CLEAN
+
+
+def _cmd_campaign_pareto(args) -> int:
+    from repro.campaign import (
+        CampaignStore, DEFAULT_AXES, parse_axes, render_front,
+    )
+    from repro.obs import write_artifact
+
+    with CampaignStore(args.db) as store:
+        campaign = args.campaign
+        if campaign is None:
+            names = store.campaigns()
+            if len(names) != 1:
+                print(f"error: --campaign needed; DB holds "
+                      f"{names or 'no campaigns'}", file=sys.stderr)
+                return EXIT_VIOLATIONS
+            campaign = names[0]
+        rows = store.rows(campaign, status="ok")
+        if not rows:
+            print(f"error: campaign {campaign!r} has no completed "
+                  f"configs in {args.db}", file=sys.stderr)
+            return EXIT_VIOLATIONS
+        axes = parse_axes(args.axes) if args.axes else DEFAULT_AXES
+        factors = tuple(f for f in (args.factors or "").split(",") if f)
+        text = render_front(
+            rows, axes, factors=factors,
+            title=f"pareto front: campaign {campaign}",
+            limit=args.limit,
+        )
+    print(text)
+    if args.out:
+        path = write_artifact(args.out, text)
+        print(f"pareto: wrote {path}", file=sys.stderr)
+    return EXIT_CLEAN
+
+
+def _cmd_campaign_triage(args) -> int:
+    from repro.campaign import (
+        CampaignStore, DEFAULT_AXES, front_recall, parse_axes,
+        pareto_front,
+    )
+
+    spec = _load_campaign_spec(args)
+    axes = parse_axes(args.axes) if args.axes else DEFAULT_AXES
+    with _obs_session(args):
+        with CampaignStore(args.db) as store:
+            runner = _campaign_runner(args, spec, store)
+            outcome = runner.run_triaged(
+                budget=args.budget, train=args.train,
+                axes=axes, model=args.surrogate,
+            )
+            print(outcome.render())
+            recovered = {
+                row["fingerprint"]
+                for row in store.rows(spec.name, status="ok")
+            }
+    if args.truth_db:
+        with CampaignStore(args.truth_db) as truth:
+            truth_rows = truth.rows(spec.name, status="ok")
+        if not truth_rows:
+            print(f"error: truth DB has no campaign {spec.name!r}",
+                  file=sys.stderr)
+            return EXIT_VIOLATIONS
+        front = pareto_front(truth_rows, axes)
+        recall = front_recall(front, recovered)
+        print(f"triage recall vs full sweep: {recall:.3f} "
+              f"({len(front)} true front configs, "
+              f"{len(recovered)} signed off)")
+    return EXIT_CLEAN
+
+
 def _cmd_trace_summarize(args) -> int:
     from repro.obs.export import summarize_file
 
@@ -807,7 +942,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument("--op", required=True,
                        help="protocol op (ping, stats, open_session, "
                             "timing, signoff, paths, histogram, "
-                            "apply_eco, discard, close_session, "
+                            "apply_eco, ssta, discard, close_session, "
                             "shutdown)")
     p_qry.add_argument("--params", metavar="JSON", default=None,
                        help="op parameters as a JSON object")
@@ -822,6 +957,91 @@ def build_parser() -> argparse.ArgumentParser:
     p_qry.add_argument("--timeout", type=float, default=30.0,
                        help="socket timeout, seconds")
     p_qry.set_defaults(func=_cmd_query)
+
+    p_cmp = sub.add_parser(
+        "campaign",
+        help="factorial signoff sweeps: results DB, Pareto fronts, "
+             "learned triage",
+    )
+    cmp_sub = p_cmp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_run_args(parser):
+        parser.add_argument("--db", default="campaign.db",
+                            help="SQLite results database (appended to; "
+                                 "reruns resume by content fingerprint)")
+        parser.add_argument("--spec-file", metavar="JSON", default=None,
+                            help="campaign spec JSON (default: the "
+                                 "built-in Fig-9-style fig9_sweep)")
+        parser.add_argument("--fraction", type=float, default=None,
+                            help="fractional factorial: keep this "
+                                 "fraction of the full design")
+        parser.add_argument("--jobs", type=int, default=2,
+                            help="configs signed off concurrently")
+        parser.add_argument("--executor", default="thread",
+                            choices=["serial", "thread", "process"])
+        parser.add_argument("--chunk", type=int, default=8,
+                            help="configs per wave (the durability "
+                                 "granularity: results commit between "
+                                 "waves)")
+        parser.add_argument("--retries", type=int, default=1,
+                            help="retry attempts per config")
+        parser.add_argument("--timeout", type=float, default=None,
+                            help="per-attempt wall-clock budget, seconds")
+        _add_obs_args(parser)
+
+    p_crun = cmp_sub.add_parser(
+        "run", help="run (or resume) every configuration"
+    )
+    _add_campaign_run_args(p_crun)
+    p_crun.add_argument("--configs", type=int, default=None,
+                        help="run only the first N configs (smoke runs)")
+    p_crun.add_argument("--no-resume", action="store_true",
+                        help="recompute configs already in the DB "
+                             "(results are still first-write-wins)")
+    p_crun.add_argument("--via-daemon", metavar="HOST:PORT", default=None,
+                        help="dispatch each config as an overlay session "
+                             "against a running timing daemon; the "
+                             "--design/--period flags must mirror the "
+                             "daemon's base design")
+    _add_design_args(p_crun)
+    _add_library_args(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cpar = cmp_sub.add_parser(
+        "pareto", help="extract and render the non-dominated front"
+    )
+    p_cpar.add_argument("--db", default="campaign.db")
+    p_cpar.add_argument("--campaign", default=None,
+                        help="campaign name (default: the DB's only one)")
+    p_cpar.add_argument("--axes", default=None,
+                        help="objectives as metric[:min|max],... "
+                             "(default power_mw:min,area_um2:min,tns:max)")
+    p_cpar.add_argument("--factors", default=None,
+                        help="comma-separated level columns to show")
+    p_cpar.add_argument("--limit", type=int, default=None,
+                        help="print at most N front rows")
+    p_cpar.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the table to FILE")
+    p_cpar.set_defaults(func=_cmd_campaign_pareto)
+
+    p_ctri = cmp_sub.add_parser(
+        "triage",
+        help="learned triage: train on a spread wave, sign off only "
+             "the configs predicted Pareto-relevant",
+    )
+    _add_campaign_run_args(p_ctri)
+    p_ctri.add_argument("--budget", type=float, default=0.5,
+                        help="fraction of the full sweep to sign off")
+    p_ctri.add_argument("--train", type=float, default=0.25,
+                        help="fraction used for the training wave")
+    p_ctri.add_argument("--surrogate", default="ridge",
+                        choices=["ridge", "knn"])
+    p_ctri.add_argument("--axes", default=None,
+                        help="objectives as metric[:min|max],...")
+    p_ctri.add_argument("--truth-db", metavar="DB", default=None,
+                        help="full-sweep DB to score front recall "
+                             "against")
+    p_ctri.set_defaults(func=_cmd_campaign_triage)
 
     p_tr = sub.add_parser("trace", help="inspect exported trace files")
     tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)

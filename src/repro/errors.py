@@ -81,6 +81,11 @@ class SignoffError(ReproError):
     """Raised by the signoff-criteria engine."""
 
 
+class CampaignError(ReproError):
+    """Raised by the campaign engine: malformed specs, unrunnable
+    configurations, or a results store that cannot be opened."""
+
+
 # ---------------------------------------------------------------------- #
 # validation
 

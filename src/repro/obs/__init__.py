@@ -17,7 +17,8 @@ no-ops until a tracer/registry is activated (CLI ``--trace`` /
 ``--metrics``, or :func:`tracing.use` / :func:`metrics.use` in code).
 """
 
-from repro.obs import export, metrics, profile, tracing
+from repro.obs import artifacts, export, metrics, profile, tracing
+from repro.obs.artifacts import format_table, write_artifact
 from repro.obs.export import (
     TraceSummary,
     chrome_trace,
@@ -36,6 +37,9 @@ from repro.obs.profile import SpanProfiler
 from repro.obs.tracing import Span, Tracer, span
 
 __all__ = [
+    "artifacts",
+    "format_table",
+    "write_artifact",
     "export",
     "metrics",
     "profile",

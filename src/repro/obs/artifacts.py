@@ -1,0 +1,99 @@
+"""Shared results-artifact formatting: the one table writer.
+
+Every benchmark and decision-support surface in this repo regenerates
+some quantitative table — yield vs tuning range, kernel throughput,
+campaign Pareto fronts. Before this module each site hand-rolled its
+own column alignment; now they all call :func:`format_table` and write
+the result through :func:`write_artifact`, so artifacts under
+``benchmarks/results/`` and campaign exports share one look and one
+code path.
+
+Formatting rules:
+
+- a cell is rendered with ``str()``; ``float`` cells honor
+  ``precision`` (``%.Nf``), ``None`` renders as ``-``;
+- numeric cells (int/float, or strings that parse as numbers) are
+  right-aligned, everything else left-aligned;
+- ``title`` becomes the first line, ``notes`` trail after a blank line.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    if text in ("", "-"):
+        return True  # blanks/placeholders align with their column
+    try:
+        float(text.rstrip("x%"))
+        return True
+    except ValueError:
+        return False
+
+
+def format_table(
+    headers: Sequence[Any],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    notes: Sequence[str] = (),
+    precision: int = 4,
+) -> str:
+    """Align ``rows`` under ``headers``; see module docstring for rules."""
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = [
+        [_render_cell(cell, precision) for cell in row] for row in rows
+    ]
+    n_cols = len(header_cells)
+    for row in body:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}: {row}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    # A column is right-aligned when every body cell in it is numeric.
+    right = [
+        all(_is_numeric(row[i]) for row in body) if body else False
+        for i in range(n_cols)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.rjust(widths[i]) if right[i]
+                       else cell.ljust(widths[i]))
+        return " ".join(out).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(line(header_cells))
+    lines.extend(line(row) for row in body)
+    if notes:
+        lines.append("")
+        lines.extend(notes)
+    return "\n".join(lines)
+
+
+def write_artifact(path, text: str) -> pathlib.Path:
+    """Persist one result artifact (parent dirs created, newline-final)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if not text.endswith("\n"):
+        text += "\n"
+    target.write_text(text)
+    return target

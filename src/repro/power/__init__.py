@@ -1,5 +1,17 @@
 """Power models: leakage rollups and switching (dynamic) power."""
 
-from repro.power.models import PowerReport, design_power, dynamic_power
+from repro.power.models import (
+    PowerAreaSummary,
+    PowerReport,
+    design_power,
+    dynamic_power,
+    power_area_summary,
+)
 
-__all__ = ["PowerReport", "design_power", "dynamic_power"]
+__all__ = [
+    "PowerAreaSummary",
+    "PowerReport",
+    "design_power",
+    "dynamic_power",
+    "power_area_summary",
+]

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.beol.corners import BeolCorner, conventional_corners
+from repro.beol.stack import BeolStack, default_stack
 from repro.errors import ReproError
 from repro.liberty.library import Library
 from repro.netlist.design import Design
@@ -82,4 +84,60 @@ def design_power(
         leakage=leakage,
         dynamic=dynamic_power(design, library, parasitics, period,
                               activity=activity, vdd=vdd),
+    )
+
+
+@dataclass
+class PowerAreaSummary:
+    """Design-level power/area rollup: the campaign's Pareto axes."""
+
+    design: str
+    library: str
+    period: float
+    power: PowerReport
+    area: float  # total cell area, um^2
+    cells: int
+
+    @property
+    def total_power(self) -> float:
+        return self.power.total
+
+    def render(self) -> str:
+        return (
+            f"{self.design} @ {self.library} ({self.cells} cells): "
+            f"power {self.power.total:.4g} mW "
+            f"(leakage {self.power.leakage:.4g}, "
+            f"dynamic {self.power.dynamic:.4g}), "
+            f"area {self.area:.1f} um^2 at {self.period:.0f} ps"
+        )
+
+
+def power_area_summary(
+    design: Design,
+    library: Library,
+    period: float,
+    stack: Optional[BeolStack] = None,
+    beol_corner: Optional[BeolCorner] = None,
+    activity: float = DEFAULT_ACTIVITY,
+    vdd: Optional[float] = None,
+) -> PowerAreaSummary:
+    """One-call rollup of dynamic + leakage power and total cell area.
+
+    Synthesizes its own parasitics (typ BEOL corner unless given), so a
+    campaign worker can score a candidate design in one line without
+    plumbing extractor objects around. The design does not need to be
+    bound: leakage and area come from per-cell library values, dynamic
+    power from net fanout-synthesized wire plus pin caps.
+    """
+    stack = stack or default_stack()
+    corner = beol_corner or conventional_corners(stack)["typ"]
+    extractor = ParasiticExtractor(design, library, stack, corner)
+    return PowerAreaSummary(
+        design=design.name,
+        library=library.name,
+        period=period,
+        power=design_power(design, library, extractor, period,
+                           activity=activity, vdd=vdd),
+        area=design.total_area(library),
+        cells=len(design.instances),
     )

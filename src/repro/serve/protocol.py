@@ -51,7 +51,8 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: and shedding feedback are how clients notice backpressure).
 CONTROL_OPS = ("ping", "stats", "open_session", "close_session",
                "discard", "shutdown")
-QUERY_OPS = ("timing", "signoff", "paths", "histogram", "apply_eco")
+QUERY_OPS = ("timing", "signoff", "paths", "histogram", "apply_eco",
+             "ssta")
 ALL_OPS = CONTROL_OPS + QUERY_OPS
 
 

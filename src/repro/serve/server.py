@@ -257,6 +257,7 @@ class TimingDaemon:
             "paths": self._op_paths,
             "histogram": self._op_histogram,
             "apply_eco": self._op_apply_eco,
+            "ssta": self._op_ssta,
         }
 
     # ------------------------------------------------------------------ #
@@ -849,6 +850,98 @@ class TimingDaemon:
             "source": source,
             **self._report_row(report),
         }
+
+    def _op_ssta(self, session: Session, params: Dict[str, Any],
+                 attempt: int) -> Dict[str, Any]:
+        """Statistical query over the session's (overlaid) design.
+
+        Runs one canonical-algebra SSTA pass on a chosen scenario:
+        timing yield, the top endpoints by criticality (mean/sigma/
+        P(fail)), and — when ``target_yield`` is given — a PST
+        tune-to-target over ``tune_range`` ps. Always a full
+        recompute (distributions are not cached), so budget ``samples``
+        accordingly; the op is still supervised and admission-controlled
+        like every other query.
+        """
+        from repro.liberty.lvf import has_lvf
+        from repro.sta.algebra import VariationModel
+        from repro.sta.ssta import run_ssta, tune_to_yield
+
+        name = params.get("scenario")
+        scenario = (self._scenario(name) if name
+                    else next(iter(self.scenarios.values())))
+        if not has_lvf(scenario.library):
+            raise ProtocolError(
+                f"scenario {scenario.name!r} has no LVF sigma tables; "
+                "ssta is unavailable on it", scenario=scenario.name,
+            )
+        samples = int(params.get("samples", 1000))
+        if not 16 <= samples <= 20000:
+            raise ProtocolError(
+                f"samples must be in [16, 20000], got {samples}"
+            )
+        top = int(params.get("top", 5))
+        model_params: Dict[str, Any] = {}
+        if "rho" in params:
+            model_params["rho"] = float(params["rho"])
+        if "seed" in params:
+            model_params["seed"] = int(params["seed"])
+        if self.fault_injector is not None:
+            self.fault_injector.fire(f"ssta:{scenario.name}", attempt)
+
+        design = session.overlay.materialize()
+        corner = conventional_corners(self.stack)[
+            scenario.beol_corner_name
+        ]
+        with obs_tracing.span("daemon_ssta", scenario=scenario.name,
+                              samples=samples):
+            run = run_ssta(
+                design, scenario.library, scenario.constraints,
+                model=VariationModel(**model_params),
+                n_samples=samples,
+                stack=self.stack, beol_corner=corner,
+                temp_c=scenario.temp_c, derates=scenario.derates,
+            )
+            ranked = sorted(run.endpoints,
+                            key=lambda e: -e.criticality)
+            result: Dict[str, Any] = {
+                "design": session.overlay.design_name,
+                "version": session.overlay.version,
+                "scenario": scenario.name,
+                "samples": samples,
+                "yield": round(run.timing_yield(), 6),
+                "endpoints": [
+                    {
+                        "endpoint": str(e.endpoint),
+                        "mean": round(e.mean, 6),
+                        "sigma": round(e.sigma, 6),
+                        "fail_prob": round(e.fail_prob, 6),
+                        "criticality": round(e.criticality, 6),
+                    }
+                    for e in ranked[:top]
+                ],
+            }
+            target = params.get("target_yield")
+            if target is not None:
+                max_buffers = params.get("max_buffers")
+                tuned = tune_to_yield(
+                    run,
+                    target_yield=float(target),
+                    tune_range=float(params.get("tune_range", 40.0)),
+                    max_buffers=(int(max_buffers)
+                                 if max_buffers is not None else None),
+                )
+                result["tuning"] = {
+                    "target_yield": tuned.target_yield,
+                    "baseline_yield": round(tuned.baseline_yield, 6),
+                    "tuned_yield": round(tuned.tuned_yield, 6),
+                    "buffers": len(tuned.selected),
+                    "selected": list(tuned.selected),
+                    "achieved": tuned.achieved,
+                }
+        session.queries += 1
+        obs_metrics.inc("serve.ssta.queries")
+        return result
 
     def _validate_eco(self, session: Session,
                       edits: List[OverlayEdit]) -> None:

@@ -1,0 +1,139 @@
+"""Tests for Pareto-front extraction, ranks, recall, and rendering."""
+
+import pytest
+
+from repro.campaign import (
+    Axis,
+    DEFAULT_AXES,
+    front_recall,
+    nondomination_ranks,
+    pareto_front,
+    parse_axes,
+    render_front,
+)
+from repro.errors import CampaignError
+
+
+def row(fp, power, area, tns, levels=None):
+    return {"fingerprint": fp, "power_mw": power, "area_um2": area,
+            "tns": tns, "levels": levels or {}}
+
+
+AXES = DEFAULT_AXES  # power:min, area:min, tns:max
+
+
+class TestAxis:
+    def test_direction_validated(self):
+        with pytest.raises(CampaignError):
+            Axis("x", "sideways")
+
+    def test_max_axis_negates(self):
+        assert Axis("tns", "max").key({"tns": -5.0}) == 5.0
+        assert Axis("tns", "min").key({"tns": -5.0}) == -5.0
+
+    def test_missing_metric_is_none(self):
+        assert Axis("x").key({}) is None
+
+    def test_parse_axes(self):
+        axes = parse_axes("power_mw, tns:max ,area_um2:min")
+        assert [(a.metric, a.direction) for a in axes] == [
+            ("power_mw", "min"), ("tns", "max"), ("area_um2", "min"),
+        ]
+        with pytest.raises(CampaignError):
+            parse_axes(" , ")
+        with pytest.raises(CampaignError):
+            parse_axes("x:upways")
+
+
+class TestParetoFront:
+    def test_dominated_rows_excluded(self):
+        rows = [
+            row("a", 1.0, 10.0, -5.0),
+            row("b", 2.0, 20.0, -9.0),   # worse everywhere
+            row("c", 0.5, 30.0, -9.0),   # best power: on the front
+        ]
+        front = {r["fingerprint"] for r in pareto_front(rows, AXES)}
+        assert front == {"a", "c"}
+
+    def test_ties_all_kept(self):
+        rows = [row("a", 1.0, 10.0, -5.0), row("b", 1.0, 10.0, -5.0)]
+        assert len(pareto_front(rows, AXES)) == 2
+
+    def test_missing_metric_excluded(self):
+        rows = [row("a", 1.0, 10.0, -5.0),
+                {"fingerprint": "b", "power_mw": 0.1, "levels": {}}]
+        assert [r["fingerprint"] for r in pareto_front(rows, AXES)] \
+            == ["a"]
+
+    def test_single_row_is_the_front(self):
+        rows = [row("a", 1.0, 1.0, 0.0)]
+        assert pareto_front(rows, AXES) == rows
+
+    def test_max_direction_respected(self):
+        # Same power/area; only tns differs -> the larger tns wins.
+        rows = [row("a", 1.0, 1.0, -9.0), row("b", 1.0, 1.0, -1.0)]
+        assert [r["fingerprint"] for r in pareto_front(rows, AXES)] \
+            == ["b"]
+
+
+class TestNondominationRanks:
+    def test_layers_peel(self):
+        rows = [
+            row("a", 1.0, 1.0, 0.0),    # layer 0
+            row("b", 2.0, 2.0, -1.0),   # layer 1
+            row("c", 3.0, 3.0, -2.0),   # layer 2
+        ]
+        ranks = nondomination_ranks(rows, AXES)
+        assert ranks == {"a": 0, "b": 1, "c": 2}
+
+    def test_incomparable_rows_share_layer_zero(self):
+        rows = [row("a", 1.0, 2.0, 0.0), row("b", 2.0, 1.0, 0.0)]
+        ranks = nondomination_ranks(rows, AXES)
+        assert ranks["a"] == ranks["b"] == 0
+
+    def test_rows_missing_metrics_unranked(self):
+        rows = [row("a", 1.0, 1.0, 0.0),
+                {"fingerprint": "b", "levels": {}}]
+        assert "b" not in nondomination_ranks(rows, AXES)
+
+    def test_every_complete_row_ranked(self):
+        rows = [row(f"r{i}", float(i % 3), float(i % 5), -float(i))
+                for i in range(20)]
+        assert len(nondomination_ranks(rows, AXES)) == 20
+
+
+class TestFrontRecall:
+    def test_full_and_partial(self):
+        front = [row("a", 1, 1, 0), row("b", 2, 2, 0)]
+        assert front_recall(front, {"a", "b", "z"}) == 1.0
+        assert front_recall(front, {"a"}) == 0.5
+        assert front_recall(front, set()) == 0.0
+
+    def test_empty_front_is_perfect(self):
+        assert front_recall([], set()) == 1.0
+
+
+class TestRenderFront:
+    def test_contains_levels_and_metrics(self):
+        rows = [
+            row("a", 1.0, 10.0, -5.0, {"recipe": "none", "period": 400}),
+            row("b", 2.0, 20.0, -9.0, {"recipe": "lvt", "period": 500}),
+        ]
+        text = render_front(rows, AXES, factors=("recipe",),
+                            title="front")
+        assert text.startswith("front")
+        assert "none" in text
+        assert "lvt" not in text.splitlines()[2]  # dominated: not shown
+        assert "power_mw" in text
+        assert "non-dominated of 2 rows" in text
+
+    def test_empty_front_renders_placeholder(self):
+        text = render_front([], AXES, title="t")
+        assert "empty front" in text
+
+    def test_limit(self):
+        rows = [row("a", 1.0, 2.0, 0.0), row("b", 2.0, 1.0, 0.0)]
+        text = render_front(rows, AXES, limit=1)
+        data = [ln for ln in text.splitlines()
+                if ln and not ln.startswith(("#", "axes"))]
+        assert len(data) == 1  # one front row despite two on the front

@@ -1,0 +1,113 @@
+"""Acceptance test: a campaign killed with SIGKILL mid-sweep resumes
+from its SQLite DB, recomputing only the unrecorded configs.
+
+Mirrors tests/test_checkpoint_resume.py: the CLI runs in a subprocess
+with ``--chunk 1`` (commit per config), the test polls the DB until at
+least one row lands, SIGKILLs the process, then resumes in-process.
+All assertions are count-based, never wall-clock.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    Factor,
+)
+from repro.runtime.supervisor import RetryPolicy
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def killable_spec():
+    return CampaignSpec(
+        name="killable",
+        factors=[
+            Factor("period", (460.0, 480.0, 500.0)),
+            Factor("recipe", ("none", "lvt_crit")),
+            Factor("margin_ps", (0.0, 10.0)),
+        ],
+        seed=17,
+    )  # 12 configs
+
+
+def db_count(path):
+    if not path.exists():
+        return 0
+    with CampaignStore(path) as store:
+        return store.count("killable")
+
+
+def test_sigkilled_campaign_resumes_from_db(tmp_path):
+    spec = killable_spec()
+    total = spec.size
+    db_path = tmp_path / "campaign.db"
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json(), encoding="utf-8")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run",
+            "--db", str(db_path), "--spec-file", str(spec_path),
+            "--jobs", "1", "--executor", "serial",
+            "--chunk", "1",  # commit per config: maximum kill surface
+            "--retries", "0",
+        ],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+    # Wait for at least one committed config, then SIGKILL mid-sweep.
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before we could kill it (still valid)
+            if db_count(db_path) >= 1:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("subprocess recorded nothing within 120 s")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    # Whatever committed before the kill is durable; resume reruns
+    # exactly the difference.
+    done_before = db_count(db_path)
+    assert 1 <= done_before <= total
+
+    with CampaignStore(db_path) as store:
+        runner = CampaignRunner(
+            spec, store, jobs=1, executor="serial",
+            policy=RetryPolicy(retries=0, backoff_s=0.0),
+        )
+        outcome = runner.run()
+        assert outcome.ok
+        assert len(outcome.resumed) == done_before
+        assert len(outcome.computed) == total - done_before
+        assert store.count("killable") == total
+        recorded = {row["fingerprint"] for row in store.rows("killable")}
+    assert recorded == {c.fingerprint for c in spec.expand()}
+
+    # A second resume recomputes nothing at all.
+    with CampaignStore(db_path) as store:
+        again = CampaignRunner(
+            spec, store, jobs=1, executor="serial",
+            policy=RetryPolicy(retries=0, backoff_s=0.0),
+        ).run()
+        assert again.computed == []
+        assert len(again.resumed) == total

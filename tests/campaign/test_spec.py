@@ -1,0 +1,193 @@
+"""Tests for campaign specs: factorial expansion, fingerprints, seeds."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Factor,
+    config_fingerprint,
+    derive_seed,
+    spread_indices,
+)
+from repro.errors import CampaignError
+
+
+def two_factor_spec(**kwargs):
+    return CampaignSpec(
+        name="t",
+        factors=[
+            Factor("period", (400.0, 500.0)),
+            Factor("recipe", ("none", "lvt_crit", "upsize_crit")),
+        ],
+        **kwargs,
+    )
+
+
+class TestFactor:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(CampaignError):
+            Factor("x", ())
+
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(CampaignError):
+            Factor("x", (1, 1))
+
+    def test_rejects_non_plain_levels(self):
+        with pytest.raises(CampaignError):
+            Factor("x", (object(),))
+
+    def test_distinguishes_int_from_float(self):
+        # repr-dedup must not collapse 1 and 1.0 — distinct levels even
+        # though 1 == 1.0 makes a plain set() merge them.
+        assert len(Factor("x", (1, 1.0)).levels) == 2
+
+
+class TestSpecValidation:
+    def test_needs_a_name(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(name="", factors=[Factor("a", (1,))])
+
+    def test_needs_factors(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(name="t", factors=[])
+
+    def test_unique_factor_names(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(name="t", factors=[
+                Factor("a", (1,)), Factor("a", (2,)),
+            ])
+
+    def test_base_shadowed_by_factor_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(name="t", factors=[Factor("a", (1,))],
+                         base={"a": 2})
+
+    def test_fraction_bounds(self):
+        with pytest.raises(CampaignError):
+            two_factor_spec(fraction=0.0)
+        with pytest.raises(CampaignError):
+            two_factor_spec(fraction=1.5)
+
+
+class TestExpansion:
+    def test_full_factorial_size(self):
+        spec = two_factor_spec()
+        assert spec.size == 6
+        configs = spec.expand()
+        assert len(configs) == 6
+        assert [c.index for c in configs] == list(range(6))
+
+    def test_base_merged_into_every_assignment(self):
+        spec = two_factor_spec(base={"activity": 0.2})
+        for config in spec.expand():
+            assert config.assignment["activity"] == 0.2
+
+    def test_fingerprints_unique(self):
+        configs = two_factor_spec().expand()
+        assert len({c.fingerprint for c in configs}) == len(configs)
+
+    def test_fingerprint_is_content_only(self):
+        # Same assignment -> same fingerprint regardless of campaign
+        # name, seed, or factor declaration order.
+        a = two_factor_spec(seed=1).expand()
+        b = CampaignSpec(
+            name="other",
+            factors=[
+                Factor("recipe", ("none", "lvt_crit", "upsize_crit")),
+                Factor("period", (400.0, 500.0)),
+            ],
+            seed=99,
+        ).expand()
+        assert {c.fingerprint for c in a} == {c.fingerprint for c in b}
+
+    def test_fingerprint_function_sorts_keys(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == \
+            config_fingerprint({"b": 2, "a": 1})
+
+    def test_seeds_deterministic_and_distinct(self):
+        one = two_factor_spec(seed=7).expand()
+        two = two_factor_spec(seed=7).expand()
+        assert [c.seed for c in one] == [c.seed for c in two]
+        assert len({c.seed for c in one}) == len(one)
+
+    def test_spec_seed_changes_config_seeds_not_identity(self):
+        a = two_factor_spec(seed=1).expand()
+        b = two_factor_spec(seed=2).expand()
+        assert [c.fingerprint for c in a] == [c.fingerprint for c in b]
+        assert [c.seed for c in a] != [c.seed for c in b]
+
+    def test_derive_seed_in_range(self):
+        s = derive_seed(123, "ab" * 32)
+        assert 0 <= s < 2 ** 31 - 1
+
+
+class TestFractionalDesign:
+    def test_fraction_keeps_subset_of_full(self):
+        full = {c.fingerprint for c in two_factor_spec().expand()}
+        frac = two_factor_spec(fraction=0.5).expand()
+        assert len(frac) == 3
+        assert {c.fingerprint for c in frac} <= full
+
+    def test_fraction_deterministic(self):
+        a = two_factor_spec(fraction=0.5).expand()
+        b = two_factor_spec(fraction=0.5).expand()
+        assert [c.fingerprint for c in a] == [c.fingerprint for c in b]
+
+    def test_fraction_stable_under_factor_reorder(self):
+        a = two_factor_spec(fraction=0.5).expand()
+        b = CampaignSpec(
+            name="t",
+            factors=[
+                Factor("recipe", ("none", "lvt_crit", "upsize_crit")),
+                Factor("period", (400.0, 500.0)),
+            ],
+            fraction=0.5,
+        ).expand()
+        assert {c.fingerprint for c in a} == {c.fingerprint for c in b}
+
+    def test_fraction_keeps_at_least_one(self):
+        assert len(two_factor_spec(fraction=0.01).expand()) == 1
+
+    def test_kept_configs_sorted_by_index(self):
+        frac = two_factor_spec(fraction=0.5).expand()
+        assert [c.index for c in frac] == sorted(c.index for c in frac)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self):
+        spec = two_factor_spec(base={"activity": 0.2}, fraction=0.5,
+                               seed=9)
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again.name == spec.name
+        assert again.base == spec.base
+        assert again.fraction == spec.fraction
+        assert again.seed == spec.seed
+        assert [c.fingerprint for c in again.expand()] == \
+            [c.fingerprint for c in spec.expand()]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_json("{nope")
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_json("[1, 2]")
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_json('{"name": "t"}')
+
+
+class TestSpreadIndices:
+    def test_covers_all_when_count_exceeds_n(self):
+        assert spread_indices(3, 10) == [0, 1, 2]
+
+    def test_exact_count_and_spread(self):
+        picked = spread_indices(100, 10)
+        assert len(picked) == 10
+        assert picked[0] == 0
+        assert picked[-1] >= 90
+
+    def test_zero_count(self):
+        assert spread_indices(10, 0) == []
+
+    def test_no_duplicates_after_topup(self):
+        for n, count in ((7, 5), (13, 9), (10, 10)):
+            picked = spread_indices(n, count)
+            assert len(picked) == len(set(picked)) == count

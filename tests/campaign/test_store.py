@@ -1,0 +1,133 @@
+"""Tests for the append-only SQLite campaign results store."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, Factor
+from repro.errors import CampaignError
+
+
+@pytest.fixture()
+def spec():
+    return CampaignSpec(
+        name="s",
+        factors=[Factor("period", (400.0, 500.0)),
+                 Factor("recipe", ("none", "lvt_crit"))],
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with CampaignStore(tmp_path / "c.db") as s:
+        yield s
+
+
+METRICS = {"wall_s": 1.5, "wns": -12.0, "tns": -80.0, "hold_wns": 5.0,
+           "power_mw": 0.21, "leakage_mw": 0.02, "dynamic_mw": 0.19,
+           "area_um2": 300.0, "cells": 64, "tyield": None,
+           "pst_buffers": None, "eco_edits": 4}
+
+SCEN = [{"scenario": "tt_typ", "wns_setup": -12.0, "tns_setup": -80.0,
+         "violations_setup": 3, "wns_hold": 5.0, "tns_hold": 0.0,
+         "violations_hold": 0}]
+
+
+class TestRecordResult:
+    def test_roundtrip(self, store, spec):
+        config = spec.expand()[0]
+        assert store.record_result(config, "ok", METRICS, SCEN)
+        rows = store.rows("s")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["fingerprint"] == config.fingerprint
+        assert row["levels"] == config.assignment
+        assert row["wns"] == -12.0
+        assert row["seed"] == config.seed
+        assert row["tyield"] is None
+        assert store.scenario_rows(config.fingerprint)[0]["wns_setup"] \
+            == -12.0
+
+    def test_first_write_wins(self, store, spec):
+        config = spec.expand()[0]
+        assert store.record_result(config, "ok", METRICS, SCEN)
+        clobber = dict(METRICS, wns=999.0)
+        assert not store.record_result(config, "ok", clobber, SCEN)
+        assert store.rows("s")[0]["wns"] == -12.0
+        # Scenario rows were not duplicated either.
+        assert len(store.scenario_rows(config.fingerprint)) == 1
+
+    def test_done_fingerprints(self, store, spec):
+        configs = spec.expand()
+        store.record_result(configs[0], "ok", METRICS)
+        store.record_result(configs[2], "ok", METRICS)
+        assert store.done_fingerprints("s") == {
+            configs[0].fingerprint, configs[2].fingerprint,
+        }
+
+    def test_rows_ordered_by_index(self, store, spec):
+        configs = spec.expand()
+        for config in reversed(configs):
+            store.record_result(config, "ok", METRICS)
+        assert [r["idx"] for r in store.rows("s")] == [0, 1, 2, 3]
+
+    def test_count_and_campaigns(self, store, spec):
+        for config in spec.expand():
+            store.record_result(config, "ok", METRICS)
+        assert store.count("s") == 4
+        assert store.campaigns() == ["s"]
+
+
+class TestFailuresAndPredictions:
+    def test_failures_append(self, store, spec):
+        config = spec.expand()[0]
+        store.record_failure(config, "boom", 2)
+        store.record_failure(config, "boom again", 3)
+        failures = store.failures("s")
+        assert len(failures) == 2
+        assert failures[0]["error"] == "boom"
+        # A failure never blocks resume: the config is not "done".
+        assert store.done_fingerprints("s") == set()
+
+    def test_predictions_replace(self, store, spec):
+        config = spec.expand()[0]
+        store.record_prediction("s", config.fingerprint, 3,
+                                {"wns": -5.0})
+        store.record_prediction("s", config.fingerprint, 1,
+                                {"wns": -2.0})
+        preds = store.predictions("s")
+        assert len(preds) == 1
+        assert preds[0]["rank"] == 1
+        assert preds[0]["metrics"] == {"wns": -2.0}
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path, spec):
+        path = tmp_path / "c.db"
+        config = spec.expand()[0]
+        with CampaignStore(path) as store:
+            store.record_spec("s", spec.to_json())
+            store.record_result(config, "ok", METRICS, SCEN)
+        with CampaignStore(path) as store:
+            assert store.count("s") == 1
+            assert store.spec_json("s") == spec.to_json()
+            assert store.done_fingerprints("s") == {config.fingerprint}
+
+    def test_spec_recorded_once(self, tmp_path, spec):
+        path = tmp_path / "c.db"
+        with CampaignStore(path) as store:
+            store.record_spec("s", spec.to_json())
+            store.record_spec("s", "{}")  # ignored: first write wins
+            assert store.spec_json("s") == spec.to_json()
+
+    def test_unopenable_path_is_structured_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignStore(tmp_path / "missing" / "c.db")
+
+    def test_two_campaigns_share_a_db(self, store, spec):
+        other = CampaignSpec(name="other",
+                             factors=[Factor("period", (123.0,))])
+        store.record_result(spec.expand()[0], "ok", METRICS)
+        store.record_result(other.expand()[0], "ok", METRICS)
+        assert store.campaigns() == ["other", "s"]
+        assert store.count("s") == 1
+        assert store.count("other") == 1

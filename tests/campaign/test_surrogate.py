@@ -1,0 +1,207 @@
+"""Tests for the learned-triage surrogate: features, models, ranking."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Factor,
+    KnnSurrogate,
+    RidgeSurrogate,
+    Surrogate,
+    TARGET_METRICS,
+    triage_order,
+)
+from repro.campaign.surrogate import FeatureSpace
+from repro.errors import CampaignError
+
+
+def mixed_spec():
+    return CampaignSpec(
+        name="m",
+        factors=[
+            Factor("period", (400.0, 450.0, 500.0)),
+            Factor("recipe", ("none", "lvt_crit")),
+        ],
+        seed=1,
+    )
+
+
+def fake_row(config, **metrics):
+    base = {"power_mw": 0.0, "area_um2": 0.0, "tns": 0.0, "wns": 0.0}
+    base.update(metrics)
+    return {"fingerprint": config.fingerprint,
+            "levels": config.assignment, **base}
+
+
+class TestFeatureSpace:
+    def test_numeric_factor_is_one_column(self):
+        space = FeatureSpace(mixed_spec())
+        names = [name for name, _ in space.columns]
+        assert names.count("period") == 1
+        assert names.count("recipe") == 2  # one-hot per level
+
+    def test_encode_numeric_and_onehot(self):
+        space = FeatureSpace(mixed_spec())
+        v = space.encode({"period": 450.0, "recipe": "lvt_crit"})
+        assert v[0] == 450.0
+        assert list(v[1:]) == [0.0, 1.0]
+
+    def test_bool_levels_are_categorical(self):
+        spec = CampaignSpec(name="b",
+                            factors=[Factor("flag", (True, False))])
+        space = FeatureSpace(spec)
+        assert len(space.columns) == 2
+
+    def test_extra_features_appended_in_stable_order(self):
+        space = FeatureSpace(
+            mixed_spec(),
+            extra=lambda levels: {"z": 1.0, "a": 2.0},
+        )
+        v = space.encode({"period": 400.0, "recipe": "none"})
+        assert list(v[-2:]) == [2.0, 1.0]  # sorted: a then z
+
+    def test_matrix_shape(self):
+        spec = mixed_spec()
+        space = FeatureSpace(spec)
+        X = space.matrix([c.assignment for c in spec.expand()])
+        assert X.shape == (6, 3)
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        Y = X @ np.array([[2.0], [-1.0], [0.5]]) + 3.0
+        model = RidgeSurrogate(l2=1e-6).fit(X, Y)
+        pred = model.predict(X)
+        assert np.allclose(pred, Y, atol=1e-3)
+
+    def test_multi_output(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        Y = np.hstack([2 * X, -X + 1])
+        pred = RidgeSurrogate(l2=1e-6).fit(X, Y).predict(X)
+        assert pred.shape == (10, 2)
+        assert np.allclose(pred, Y, atol=1e-3)
+
+    def test_constant_column_tolerated(self):
+        # Zero-variance features must not divide by zero.
+        X = np.hstack([np.ones((8, 1)),
+                       np.arange(8, dtype=float).reshape(-1, 1)])
+        Y = X[:, 1:2] * 3.0
+        pred = RidgeSurrogate().fit(X, Y).predict(X)
+        assert np.isfinite(pred).all()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(CampaignError):
+            RidgeSurrogate().predict(np.ones((1, 2)))
+
+    def test_zero_rows_raises(self):
+        with pytest.raises(CampaignError):
+            RidgeSurrogate().fit(np.zeros((0, 2)), np.zeros((0, 1)))
+
+
+class TestKnn:
+    def test_exact_on_training_points(self):
+        X = np.array([[0.0], [10.0], [20.0]])
+        Y = np.array([[1.0], [2.0], [3.0]])
+        pred = KnnSurrogate(k=1).fit(X, Y).predict(X)
+        assert np.allclose(pred, Y, atol=1e-6)
+
+    def test_interpolates_between_neighbours(self):
+        X = np.array([[0.0], [10.0]])
+        Y = np.array([[0.0], [10.0]])
+        pred = KnnSurrogate(k=2).fit(X, Y).predict(np.array([[5.0]]))
+        assert 0.0 < pred[0, 0] < 10.0
+
+    def test_k_clamped_to_population(self):
+        X = np.array([[0.0], [1.0]])
+        Y = np.array([[1.0], [2.0]])
+        pred = KnnSurrogate(k=9).fit(X, Y).predict(np.array([[0.5]]))
+        assert np.isfinite(pred).all()
+
+    def test_bad_k(self):
+        with pytest.raises(CampaignError):
+            KnnSurrogate(k=0)
+
+
+class TestSurrogateWrapper:
+    def test_fit_predict_roundtrip(self):
+        spec = mixed_spec()
+        configs = spec.expand()
+        # power rises linearly with period; recipe adds an offset.
+        rows = [
+            fake_row(c, power_mw=c.assignment["period"] * 0.01
+                     + (5.0 if c.assignment["recipe"] == "lvt_crit"
+                        else 0.0))
+            for c in configs
+        ]
+        surrogate = Surrogate(spec, model="ridge").fit(rows)
+        preds = surrogate.predict(configs)
+        assert len(preds) == len(configs)
+        assert set(preds[0]) == set(TARGET_METRICS)
+        for config, pred in zip(configs, preds):
+            truth = (config.assignment["period"] * 0.01
+                     + (5.0 if config.assignment["recipe"] == "lvt_crit"
+                        else 0.0))
+            assert pred["power_mw"] == pytest.approx(truth, abs=0.05)
+
+    def test_needs_two_complete_rows(self):
+        spec = mixed_spec()
+        configs = spec.expand()
+        rows = [fake_row(configs[0])]
+        with pytest.raises(CampaignError):
+            Surrogate(spec).fit(rows)
+
+    def test_rows_missing_metrics_skipped(self):
+        spec = mixed_spec()
+        configs = spec.expand()
+        rows = [fake_row(c) for c in configs[:3]]
+        rows.append({"fingerprint": configs[3].fingerprint,
+                     "levels": configs[3].assignment,
+                     "power_mw": None, "area_um2": 1.0, "tns": 0.0,
+                     "wns": 0.0})
+        Surrogate(spec).fit(rows)  # must not crash on the partial row
+
+    def test_unknown_model(self):
+        with pytest.raises(CampaignError):
+            Surrogate(mixed_spec(), model="forest")
+
+    def test_predict_empty(self):
+        spec = mixed_spec()
+        surrogate = Surrogate(spec).fit(
+            [fake_row(c) for c in spec.expand()[:2]])
+        assert surrogate.predict([]) == []
+
+
+class TestTriageOrder:
+    def test_predicted_front_ranks_first(self):
+        spec = CampaignSpec(
+            name="t", factors=[Factor("period",
+                                      (100.0, 200.0, 300.0, 400.0))],
+        )
+        configs = spec.expand()
+        # Lower period -> better everywhere: config 0 should rank first.
+        rows = [
+            fake_row(c, power_mw=c.assignment["period"],
+                     area_um2=c.assignment["period"],
+                     tns=-c.assignment["period"])
+            for c in configs[2:]
+        ]
+        # ridge, not knn: the ranking here relies on extrapolating the
+        # linear trend below the training range.
+        surrogate = Surrogate(spec, model="ridge").fit(rows)
+        ordered = triage_order(surrogate, rows, configs[:2])
+        assert [c.index for c, _, _ in ordered] == [0, 1]
+        assert ordered[0][2] <= ordered[1][2]  # layer monotone
+
+    def test_deterministic_tiebreak_by_index(self):
+        spec = mixed_spec()
+        configs = spec.expand()
+        rows = [fake_row(c, power_mw=1.0, area_um2=1.0, tns=0.0)
+                for c in configs[:3]]
+        surrogate = Surrogate(spec, model="knn", extra=None).fit(rows)
+        ordered = triage_order(surrogate, rows, configs[3:])
+        again = triage_order(surrogate, rows, configs[3:])
+        assert [c.index for c, _, _ in ordered] == \
+            [c.index for c, _, _ in again]

@@ -1,0 +1,119 @@
+"""Campaign dispatch through a warm timing daemon (overlay sessions)."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    DaemonTarget,
+    Factor,
+)
+from repro.campaign.blocks import build_block
+from repro.errors import CampaignError
+from repro.liberty import make_library
+from repro.runtime.supervisor import RetryPolicy
+from repro.serve import DaemonConfig, TimingDaemon
+from repro.sta import Constraints
+from repro.sta.mcmm import Scenario
+
+
+def daemon_setup():
+    design = build_block("soc_ctrl")
+    library = make_library()
+    constraints = Constraints.single_clock(500.0)
+    constraints.input_delays = {
+        p: 40.0 for p in design.input_ports() if p != "clk"
+    }
+    return design, library, constraints
+
+
+@pytest.fixture
+def daemon_target():
+    design, library, constraints = daemon_setup()
+    daemon = TimingDaemon(
+        design, [Scenario("tt_typ", library, constraints)],
+        config=DaemonConfig(workers=2, queue_limit=32),
+    )
+    daemon.start()
+    try:
+        yield DaemonTarget("127.0.0.1", daemon.port, design, library,
+                           constraints)
+    finally:
+        daemon.stop()
+
+
+def daemon_spec():
+    return CampaignSpec(
+        name="via",
+        factors=[
+            Factor("recipe", ("none", "lvt_crit")),
+            Factor("tune_tau", (0.0, 30.0)),
+        ],
+        base={"ssta_samples": 64},
+        seed=13,
+    )  # 4 configs
+
+
+class TestViaDaemon:
+    def test_sweep_runs_as_overlay_sessions(self, daemon_target,
+                                            tmp_path):
+        spec = daemon_spec()
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(
+                spec, store, jobs=2, daemon=daemon_target,
+                policy=RetryPolicy(retries=1, backoff_s=0.0),
+            )
+            assert runner.executor == "thread"  # forced for live objects
+            outcome = runner.run()
+            assert outcome.ok
+            assert len(outcome.computed) == 4
+            rows = store.rows("via")
+        assert len(rows) == 4
+        for row in rows:
+            assert row["source"] == "daemon"
+            assert row["wns"] is not None
+            assert row["power_mw"] > 0.0
+            levels = row["levels"]
+            if levels["tune_tau"] > 0.0:
+                assert row["tyield"] is not None
+                assert row["pst_buffers"] is not None
+            else:
+                assert row["tyield"] is None
+            if levels["recipe"] == "lvt_crit":
+                assert row["eco_edits"] > 0
+            else:
+                assert row["eco_edits"] == 0
+
+    def test_recipe_moves_daemon_timing(self, daemon_target, tmp_path):
+        spec = daemon_spec()
+        with CampaignStore(tmp_path / "c.db") as store:
+            CampaignRunner(spec, store, jobs=1,
+                           daemon=daemon_target).run()
+            by_recipe = {}
+            for row in store.rows("via"):
+                if row["levels"]["tune_tau"] == 0.0:
+                    by_recipe[row["levels"]["recipe"]] = row["wns"]
+        # lvt swaps on the critical cone speed the design up; the
+        # daemon's timing rows must reflect the session's ECO.
+        assert by_recipe["lvt_crit"] > by_recipe["none"]
+
+    def test_resume_skips_recorded_configs(self, daemon_target,
+                                           tmp_path):
+        spec = daemon_spec()
+        with CampaignStore(tmp_path / "c.db") as store:
+            CampaignRunner(spec, store, daemon=daemon_target).run()
+            again = CampaignRunner(spec, store,
+                                   daemon=daemon_target).run()
+            assert again.computed == []
+            assert len(again.resumed) == 4
+
+    def test_daemon_rejects_unsweepable_spec(self, daemon_target,
+                                             tmp_path):
+        spec = CampaignSpec(
+            name="bad",
+            factors=[Factor("block", ("soc_ctrl", "soc_dsp"))],
+        )
+        with CampaignStore(tmp_path / "c.db") as store:
+            with pytest.raises(CampaignError):
+                CampaignRunner(spec, store, daemon=daemon_target)

@@ -8,7 +8,12 @@ from repro.errors import ReproError
 from repro.liberty import LibraryCondition, make_library
 from repro.netlist.generators import tiny_design
 from repro.parasitics.synthesis import ParasiticExtractor
-from repro.power.models import PowerReport, design_power, dynamic_power
+from repro.power.models import (
+    PowerReport,
+    design_power,
+    dynamic_power,
+    power_area_summary,
+)
 
 
 @pytest.fixture(scope="module")
@@ -86,3 +91,43 @@ class TestDesignPower:
         d_cold = tiny_design()
         d_hot = tiny_design()
         assert d_hot.total_leakage(hot) > d_cold.total_leakage(cold)
+
+
+class TestPowerAreaSummary:
+    def test_matches_building_blocks(self, lib, setup):
+        d, ex = setup
+        summary = power_area_summary(d, lib, period=500.0)
+        report = design_power(d, lib, ex, period=500.0)
+        assert summary.total_power == pytest.approx(report.total)
+        assert summary.power.leakage == pytest.approx(report.leakage)
+        assert summary.area == pytest.approx(d.total_area(lib))
+        assert summary.cells == len(d.instances)
+
+    def test_unbound_design_ok(self, lib):
+        # A campaign worker scores candidates without binding them.
+        summary = power_area_summary(tiny_design(), lib, period=500.0)
+        assert summary.total_power > 0.0
+        assert summary.area > 0.0
+
+    def test_dynamic_scales_with_frequency(self, lib):
+        d = tiny_design()
+        fast = power_area_summary(d, lib, period=250.0)
+        slow = power_area_summary(d, lib, period=500.0)
+        assert fast.power.dynamic == pytest.approx(
+            2.0 * slow.power.dynamic)
+        assert fast.area == pytest.approx(slow.area)
+
+    def test_activity_knob(self, lib):
+        d = tiny_design()
+        busy = power_area_summary(d, lib, period=500.0, activity=0.3)
+        idle = power_area_summary(d, lib, period=500.0, activity=0.1)
+        assert busy.power.dynamic == pytest.approx(
+            3.0 * idle.power.dynamic)
+
+    def test_render_mentions_components(self, lib):
+        text = power_area_summary(tiny_design(), lib, period=500.0).render()
+        assert "power" in text and "area" in text
+
+    def test_bad_period_rejected(self, lib):
+        with pytest.raises(ReproError):
+            power_area_summary(tiny_design(), lib, period=-1.0)

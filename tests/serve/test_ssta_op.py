@@ -1,0 +1,98 @@
+"""Daemon ``ssta`` query op: statistical timing over a session overlay."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import TimingClient
+from tests.serve.conftest import make_design
+
+
+def client_for(daemon, timeout_s=30.0):
+    return TimingClient("127.0.0.1", daemon.port, timeout_s=timeout_s)
+
+
+PARAMS = {"samples": 128, "seed": 7}
+
+
+class TestSstaOp:
+    def test_yield_and_ranked_endpoints(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            result = client.request("ssta", dict(PARAMS, top=3))
+        assert result["scenario"] == "tt_typ"  # first scenario default
+        assert result["samples"] == 128
+        assert 0.0 <= result["yield"] <= 1.0
+        assert 1 <= len(result["endpoints"]) <= 3
+        crits = [e["criticality"] for e in result["endpoints"]]
+        assert crits == sorted(crits, reverse=True)
+        for endpoint in result["endpoints"]:
+            assert endpoint["sigma"] >= 0.0
+            assert 0.0 <= endpoint["fail_prob"] <= 1.0
+        assert "tuning" not in result  # no target_yield requested
+
+    def test_seeded_runs_reproduce(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            a = client.request("ssta", PARAMS)
+            b = client.request("ssta", PARAMS)
+        assert a["yield"] == b["yield"]
+        assert a["endpoints"] == b["endpoints"]
+
+    def test_named_scenario(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            result = client.request(
+                "ssta", dict(PARAMS, scenario="ss_cw"))
+        assert result["scenario"] == "ss_cw"
+
+    def test_unknown_scenario_is_bad_request(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            with pytest.raises(ServeError) as info:
+                client.request("ssta", {"scenario": "ff_nope"})
+        assert info.value.code == "E_BAD_REQUEST"
+        assert daemon.quarantines == 0
+
+    def test_bad_samples_is_bad_request(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            for samples in (4, 10 ** 6):
+                with pytest.raises(ServeError) as info:
+                    client.request("ssta", {"samples": samples})
+                assert info.value.code == "E_BAD_REQUEST"
+                assert not info.value.retryable
+        assert daemon.quarantines == 0
+
+    def test_tune_to_target(self, daemon_factory):
+        daemon = daemon_factory()
+        with client_for(daemon) as client:
+            result = client.request("ssta", dict(
+                PARAMS, target_yield=0.99, tune_range=40.0))
+        tuning = result["tuning"]
+        assert tuning["target_yield"] == 0.99
+        assert tuning["tuned_yield"] >= tuning["baseline_yield"]
+        assert tuning["buffers"] == len(tuning["selected"])
+        assert isinstance(tuning["achieved"], bool)
+
+    def test_runs_on_the_session_overlay(self, daemon_factory):
+        design = make_design()
+        daemon = daemon_factory(design=design)
+        # Upsize every NAND2_X1: enough of an ECO to move the sigma
+        # landscape, and the overlay must be what SSTA sees.
+        edits = [
+            {"kind": "set_cell", "target": n, "value": "NAND2_X4_SVT"}
+            for n, i in sorted(design.instances.items())
+            if i.cell_name.startswith("NAND2_X1")
+        ]
+        assert edits
+        with client_for(daemon) as client:
+            base = client.request("ssta", PARAMS)
+            sid = client.request("open_session")["session"]
+            client.request("apply_eco", {"edits": edits}, session=sid)
+            overlaid = client.request("ssta", PARAMS, session=sid)
+            shared_after = client.request("ssta", PARAMS)
+        assert overlaid["design"].endswith(f"@{sid}")
+        assert overlaid["version"] == 1
+        assert overlaid["endpoints"] != base["endpoints"]
+        # The shared context never saw the ECO.
+        assert shared_after["endpoints"] == base["endpoints"]

@@ -301,3 +301,89 @@ class TestSstaSignoff:
         out = capsys.readouterr().out
         assert rc == 1
         assert "target missed" in out
+
+
+class TestCampaign:
+    @staticmethod
+    def tiny_spec_file(tmp_path):
+        from repro.campaign import CampaignSpec, Factor
+
+        spec = CampaignSpec(
+            name="clitest",
+            factors=[Factor("recipe", ("none", "lvt_crit"))],
+            seed=3,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        return path
+
+    def test_run_then_pareto_roundtrip(self, tmp_path, capsys):
+        db = tmp_path / "c.db"
+        spec_file = self.tiny_spec_file(tmp_path)
+        rc = main([
+            "campaign", "run", "--db", str(db),
+            "--spec-file", str(spec_file),
+            "--jobs", "1", "--executor", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 computed, 0 resumed" in out
+
+        pareto_out = tmp_path / "front.txt"
+        rc = main([
+            "campaign", "pareto", "--db", str(db),
+            "--factors", "recipe", "--out", str(pareto_out),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pareto front: campaign clitest" in out
+        assert pareto_out.read_text(encoding="utf-8").strip() \
+            == out.strip()
+
+        # Re-running resumes everything from the DB.
+        rc = main([
+            "campaign", "run", "--db", str(db),
+            "--spec-file", str(spec_file),
+            "--jobs", "1", "--executor", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 computed, 2 resumed" in out
+
+    def test_missing_spec_file_is_structured_fatal(self, tmp_path,
+                                                   capsys):
+        rc = main([
+            "campaign", "run", "--db", str(tmp_path / "c.db"),
+            "--spec-file", str(tmp_path / "absent.json"),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert captured.err.startswith("error: CampaignError")
+        assert "absent.json" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_pareto_on_empty_db_exits_one(self, tmp_path, capsys):
+        rc = main([
+            "campaign", "pareto", "--db", str(tmp_path / "empty.db"),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith("error:")
+
+    def test_bad_axes_is_structured_fatal(self, tmp_path, capsys):
+        db = tmp_path / "c.db"
+        spec_file = self.tiny_spec_file(tmp_path)
+        main([
+            "campaign", "run", "--db", str(db),
+            "--spec-file", str(spec_file),
+            "--jobs", "1", "--executor", "serial",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "campaign", "pareto", "--db", str(db),
+            "--axes", "power_mw:upways",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert captured.err.startswith("error: CampaignError")
+        assert "Traceback" not in captured.err
